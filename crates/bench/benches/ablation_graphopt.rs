@@ -1,0 +1,64 @@
+//! Criterion ablation: graph optimization passes on/off, plus the §6
+//! dynamic-dispatch overhead on unstaged code.
+
+use autograph_graph::{optimize::optimize, Session};
+use autograph_models::rnn;
+use autograph_runtime::{Runtime, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_graphopt(c: &mut Criterion) {
+    let (batch, time, feat, hidden) = (8, 16, 8, 16);
+    let weights = rnn::RnnWeights::new(feat, hidden, 42);
+    let inp = rnn::inputs(batch, time, feat, hidden, 7);
+    let feeds = [
+        ("input_data", inp.input_data.clone()),
+        ("initial_state", inp.initial_state.clone()),
+        ("sequence_len", inp.sequence_len.clone()),
+    ];
+
+    let mut rt = rnn::runtime(&weights, true).expect("load");
+    let staged = rnn::stage_autograph(&mut rt).expect("stage");
+    let (og, outputs, _) = optimize(&staged.graph, &staged.outputs);
+
+    let mut g = c.benchmark_group("ablation_graphopt");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut sess_raw = Session::new(staged.graph.clone());
+    g.bench_function("unoptimized", |b| {
+        b.iter(|| sess_raw.run(&feeds, &staged.outputs).expect("run"))
+    });
+    let mut sess_opt = Session::new(og);
+    g.bench_function("optimized", |b| {
+        b.iter(|| sess_opt.run(&feeds, &outputs).expect("run"))
+    });
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let src = "\
+def count(n):
+    total = 0
+    i = 0
+    while i < n:
+        if i % 3 == 0:
+            total = total + i
+        i = i + 1
+    return total
+";
+    let n = 500i64;
+    let mut plain = Runtime::load(src, false).expect("load");
+    let mut conv = Runtime::load(src, true).expect("load");
+
+    let mut g = c.benchmark_group("ablation_dispatch");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("unconverted", |b| {
+        b.iter(|| plain.call("count", vec![Value::Int(n)]).expect("run"))
+    });
+    g.bench_function("converted_unstaged", |b| {
+        b.iter(|| conv.call("count", vec![Value::Int(n)]).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_graphopt, bench_dispatch);
+criterion_main!(benches);

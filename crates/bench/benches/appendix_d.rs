@@ -1,0 +1,117 @@
+//! Criterion tracking for the Appendix D workloads, eager vs staged, one
+//! representative configuration each.
+
+use autograph_graph::Session;
+use autograph_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_beam(c: &mut Criterion) {
+    use autograph_models::beam;
+    let cfg = beam::BeamConfig {
+        beam: 4,
+        vocab: 64,
+        hidden: 16,
+        eos: 0,
+    };
+    let w = beam::BeamWeights::new(&cfg, 4);
+    let init = beam::init_state(&cfg, 9);
+    let max_len = 16;
+
+    let mut g = c.benchmark_group("d1_beam");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut rt = beam::runtime(&cfg, false).expect("load");
+    g.bench_function("eager", |b| {
+        b.iter(|| beam::run_eager(&mut rt, &w, &init, max_len).expect("run"))
+    });
+    let mut rt2 = beam::runtime(&cfg, true).expect("load");
+    let staged = beam::stage(&mut rt2, &w).expect("stage");
+    let mut sess = Session::new(staged.graph);
+    let feeds = [
+        ("init_state", init.clone()),
+        ("max_len", Tensor::scalar_i64(max_len as i64)),
+    ];
+    g.bench_function("autograph", |b| {
+        b.iter(|| sess.run(&feeds, &staged.outputs).expect("run"))
+    });
+    g.finish();
+}
+
+fn bench_lbfgs(c: &mut Criterion) {
+    use autograph_models::lbfgs;
+    let p = lbfgs::LbfgsProblem::new(8, 10, 17);
+    let start = lbfgs::x0(p.n);
+    let iters = 10;
+
+    let mut g = c.benchmark_group("d2_lbfgs");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rt = lbfgs::runtime(&p, false, true).expect("load");
+    g.bench_function("eager", |b| {
+        b.iter(|| lbfgs::run_eager(&mut rt, &start, iters).expect("run"))
+    });
+    let mut rt2 = lbfgs::runtime(&p, true, false).expect("load");
+    let staged = lbfgs::stage(&mut rt2).expect("stage");
+    let mut sess = Session::new(staged.graph);
+    let feeds = [
+        ("x0", start.clone()),
+        ("iters", Tensor::scalar_i64(iters as i64)),
+    ];
+    g.bench_function("autograph", |b| {
+        b.iter(|| sess.run(&feeds, &staged.outputs).expect("run"))
+    });
+    g.finish();
+}
+
+fn bench_maml(c: &mut Criterion) {
+    use autograph_models::maml;
+    let num_tasks = 4;
+    let params = maml::MamlParams::new(16, 3);
+    let batch = maml::sample_tasks(num_tasks, 10, 10);
+
+    let mut g = c.benchmark_group("d3_maml");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rt = maml::runtime(num_tasks, false, true).expect("load");
+    g.bench_function("eager", |b| {
+        b.iter(|| maml::run_eager(&mut rt, &batch, &params).expect("run"))
+    });
+    let mut rt2 = maml::runtime(num_tasks, true, false).expect("load");
+    let staged = maml::stage(&mut rt2).expect("stage");
+    let mut sess = Session::new(staged.graph);
+    let feeds = maml::feeds(&batch, &params);
+    g.bench_function("autograph", |b| {
+        b.iter(|| sess.run(&feeds, &staged.outputs).expect("run"))
+    });
+    g.finish();
+}
+
+fn bench_seq2seq(c: &mut Criterion) {
+    use autograph_models::seq2seq;
+    let cfg = seq2seq::Seq2SeqConfig {
+        vocab: 64,
+        hidden: 16,
+        batch: 4,
+        src_len: 16,
+        tgt_len: 16,
+        teacher_forcing: false,
+    };
+    let w = seq2seq::Seq2SeqWeights::new(&cfg, 8);
+    let (src, tgt) = seq2seq::sequences(&cfg, 21);
+
+    let mut g = c.benchmark_group("d4_seq2seq");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut rt = seq2seq::runtime(&cfg, &w, false).expect("load");
+    g.bench_function("eager", |b| {
+        b.iter(|| seq2seq::run_eager(&mut rt, &src, &tgt).expect("run"))
+    });
+    let mut rt2 = seq2seq::runtime(&cfg, &w, true).expect("load");
+    let staged = seq2seq::stage(&mut rt2).expect("stage");
+    let mut sess = Session::new(staged.graph);
+    let feeds = [("src_t", src.clone()), ("tgt_t", tgt.clone())];
+    g.bench_function("autograph", |b| {
+        b.iter(|| sess.run(&feeds, &staged.outputs).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_beam, bench_lbfgs, bench_maml, bench_seq2seq);
+criterion_main!(benches);

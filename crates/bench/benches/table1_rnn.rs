@@ -1,0 +1,48 @@
+//! Criterion tracking for Table 1: the dynamic RNN in all four
+//! configurations at one laptop-scale grid point.
+
+use autograph_graph::Session;
+use autograph_models::rnn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let (batch, time, feat, hidden) = (8, 16, 8, 16);
+    let weights = rnn::RnnWeights::new(feat, hidden, 42);
+    let inp = rnn::inputs(batch, time, feat, hidden, 7);
+    let feeds = [
+        ("input_data", inp.input_data.clone()),
+        ("initial_state", inp.initial_state.clone()),
+        ("sequence_len", inp.sequence_len.clone()),
+    ];
+
+    let mut g = c.benchmark_group("table1_rnn");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let mut rt = rnn::runtime(&weights, false).expect("load");
+    g.bench_function("eager", |b| {
+        b.iter(|| rnn::run_eager(&mut rt, &inp).expect("run"))
+    });
+
+    g.bench_function("official", |b| {
+        b.iter(|| rnn::official(&weights, &inp).expect("run"))
+    });
+
+    let (graph, fetches) = rnn::build_handwritten(&weights);
+    let mut sess = Session::new(graph);
+    g.bench_function("handwritten", |b| {
+        b.iter(|| sess.run(&feeds, &fetches).expect("run"))
+    });
+
+    let mut rt2 = rnn::runtime(&weights, true).expect("load");
+    let staged = rnn::stage_autograph(&mut rt2).expect("stage");
+    let mut sess2 = Session::new(staged.graph);
+    g.bench_function("autograph", |b| {
+        b.iter(|| sess2.run(&feeds, &staged.outputs).expect("run"))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

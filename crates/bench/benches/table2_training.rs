@@ -1,0 +1,60 @@
+//! Criterion tracking for Table 2: linear-model SGD in all four
+//! configurations (25 steps per iteration).
+
+use autograph_graph::Session;
+use autograph_models::data::synthetic_mnist;
+use autograph_models::mnist;
+use autograph_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let batch = 32;
+    let steps = 25;
+    let (images, labels) = synthetic_mnist(mnist::NUM_BATCHES, batch, 99);
+    let params = mnist::LinearParams::new(1);
+
+    let mut g = c.benchmark_group("table2_training");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let mut rt = mnist::runtime(false).expect("load");
+    g.bench_function("eager", |b| {
+        b.iter(|| mnist::run_eager(&mut rt, &images, &labels, &params, steps).expect("run"))
+    });
+
+    let (graph, train_op) = mnist::build_step_graph(&params);
+    let mut sess = Session::new(graph);
+    g.bench_function("graph_model_host_loop", |b| {
+        b.iter(|| mnist::run_host_loop(&mut sess, train_op, &images, &labels, steps).expect("run"))
+    });
+
+    let (g3, fetches) = mnist::build_ingraph_loop(&params);
+    let mut sess3 = Session::new(g3);
+    let feeds3 = [
+        ("images", images.clone()),
+        ("labels", labels.clone()),
+        ("steps", Tensor::scalar_i64(steps as i64)),
+    ];
+    g.bench_function("in_graph_loop", |b| {
+        b.iter(|| sess3.run(&feeds3, &fetches).expect("run"))
+    });
+
+    let mut rt4 = mnist::runtime(true).expect("load");
+    let staged = mnist::stage_autograph(&mut rt4).expect("stage");
+    let mut sess4 = Session::new(staged.graph);
+    let feeds4 = [
+        ("images", images.clone()),
+        ("labels", labels.clone()),
+        ("w", params.w.clone()),
+        ("b", params.b.clone()),
+        ("steps", Tensor::scalar_i64(steps as i64)),
+    ];
+    g.bench_function("autograph_loop", |b| {
+        b.iter(|| sess4.run(&feeds4, &staged.outputs).expect("run"))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

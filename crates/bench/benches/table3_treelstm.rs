@@ -1,0 +1,45 @@
+//! Criterion tracking for Table 3: one TreeLSTM SGD step, eager vs
+//! AutoGraph→Lantern.
+
+use autograph_lantern::Engine;
+use autograph_models::data::{random_tree_lantern, random_tree_value};
+use autograph_models::treelstm;
+use autograph_tensor::{Rng64, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dim = 8;
+    let leaves = 12;
+    let weights = treelstm::TreeWeights::new(dim, 2, 11);
+    let label = Tensor::from_vec_i64(vec![1], &[1]).expect("label");
+
+    let mut g = c.benchmark_group("table3_treelstm");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let mut rng = Rng64::new(33);
+    let tree_v = random_tree_value(&mut rng, leaves, dim);
+    let mut rng = Rng64::new(33);
+    let tree_l = random_tree_lantern(&mut rng, leaves, dim);
+
+    let mut rt = treelstm::eager_runtime(&weights).expect("load");
+    let mut w1 = weights.clone();
+    g.bench_function("eager_pytorch_style", |b| {
+        b.iter(|| {
+            treelstm::eager_train_step(&mut rt, &tree_v, &label, &mut w1, 0.01).expect("step")
+        })
+    });
+
+    let engine = Engine::new(treelstm::stage_lantern(&weights).expect("stage"));
+    let mut w2 = weights.clone();
+    g.bench_function("autograph_lantern", |b| {
+        b.iter(|| {
+            treelstm::lantern_train_step(&engine, &tree_l, &label, &mut w2, 0.01).expect("step")
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * `ablation graphopt` — whole-graph optimization on/off (constant
+//!   folding + CSE + DCE) on the staged RNN;
+//! * `ablation dispatch` — the §6 claim that dynamic dispatch makes
+//!   *unstaged* converted code slower than unconverted code;
+//! * `ablation amortize` — staging cost vs per-run cost: how many runs it
+//!   takes for AutoGraph's one-time conversion+staging to pay for itself
+//!   against eager execution.
+
+use autograph_bench::{measure, row, rule, HarnessArgs};
+use autograph_graph::{optimize::optimize, Session};
+use autograph_models::rnn;
+use autograph_runtime::{Runtime, Value};
+
+fn ablate_graphopt(args: &HarnessArgs) {
+    println!("\nAblation: graph optimization passes (staged RNN)\n");
+    let (batch, seq, feat, hidden) = (8, 16, 8, 32);
+    let weights = rnn::RnnWeights::new(feat, hidden, 42);
+    let inp = rnn::inputs(batch, seq, feat, hidden, 7);
+    let mut rt = rnn::runtime(&weights, true).expect("load");
+    let staged = rnn::stage_autograph(&mut rt).expect("stage");
+
+    let raw_nodes = staged.graph.deep_len();
+    let (opt_graph, opt_outputs, stats) = optimize(&staged.graph, &staged.outputs);
+    let opt_nodes = opt_graph.deep_len();
+    println!(
+        "nodes: {raw_nodes} -> {opt_nodes}  (folded {}, deduped {}, eliminated {})\n",
+        stats.folded, stats.deduped, stats.eliminated
+    );
+
+    let feeds = [
+        ("input_data", inp.input_data.clone()),
+        ("initial_state", inp.initial_state.clone()),
+        ("sequence_len", inp.sequence_len.clone()),
+    ];
+    let mut sess_raw = Session::new(staged.graph);
+    let outputs = staged.outputs.clone();
+    let t_raw = measure(2, args.runs, || {
+        sess_raw.run(&feeds, &outputs).expect("raw");
+    });
+    let mut sess_opt = Session::new(opt_graph);
+    let t_opt = measure(2, args.runs, || {
+        sess_opt.run(&feeds, &opt_outputs).expect("opt");
+    });
+    row(
+        "unoptimized graph",
+        &[format!("{:.3} ms", t_raw.mean * 1e3)],
+    );
+    row("optimized graph", &[format!("{:.3} ms", t_opt.mean * 1e3)]);
+    rule(1);
+    println!("speedup: {:.2}x", t_raw.mean / t_opt.mean);
+}
+
+fn ablate_dispatch(args: &HarnessArgs) {
+    println!("\nAblation: dynamic-dispatch overhead on unstaged code (§6)\n");
+    // pure Python computation: converted code pays ag.* dispatch per
+    // construct without any staging payoff
+    let src = "\
+def count(n):
+    total = 0
+    i = 0
+    while i < n:
+        if i % 3 == 0:
+            total = total + i
+        i = i + 1
+    return total
+";
+    let n = 2000i64;
+    let mut plain = Runtime::load(src, false).expect("load");
+    let mut converted = Runtime::load(src, true).expect("load");
+    let a = plain.call("count", vec![Value::Int(n)]).expect("run");
+    let b = converted.call("count", vec![Value::Int(n)]).expect("run");
+    assert!(a.py_eq(&b), "semantics preserved");
+
+    let t_plain = measure(2, args.runs, || {
+        plain.call("count", vec![Value::Int(n)]).expect("run");
+    });
+    let t_conv = measure(2, args.runs, || {
+        converted.call("count", vec![Value::Int(n)]).expect("run");
+    });
+    row(
+        "unconverted (native semantics)",
+        &[format!("{:.3} ms", t_plain.mean * 1e3)],
+    );
+    row(
+        "converted, unstaged",
+        &[format!("{:.3} ms", t_conv.mean * 1e3)],
+    );
+    rule(1);
+    println!(
+        "dispatch overhead: {:.2}x slower (the paper: \"if AutoGraph was used to\n\
+         perform normal unstaged Python computation, it would be slower\")",
+        t_conv.mean / t_plain.mean
+    );
+}
+
+fn ablate_amortize(args: &HarnessArgs) {
+    println!("\nAblation: staging amortization (RNN workload)\n");
+    let (batch, seq, feat, hidden) = (8, 16, 8, 32);
+    let weights = rnn::RnnWeights::new(feat, hidden, 42);
+    let inp = rnn::inputs(batch, seq, feat, hidden, 7);
+
+    // one-time cost: convert + stage
+    let t_stage = measure(1, args.runs, || {
+        let mut rt = rnn::runtime(&weights, true).expect("load");
+        rnn::stage_autograph(&mut rt).expect("stage");
+    });
+
+    // per-run costs
+    let mut rt_eager = rnn::runtime(&weights, false).expect("load");
+    let t_eager = measure(2, args.runs, || {
+        rnn::run_eager(&mut rt_eager, &inp).expect("eager");
+    });
+    let mut rt = rnn::runtime(&weights, true).expect("load");
+    let staged = rnn::stage_autograph(&mut rt).expect("stage");
+    let mut sess = Session::new(staged.graph);
+    let outputs = staged.outputs.clone();
+    let feeds = [
+        ("input_data", inp.input_data.clone()),
+        ("initial_state", inp.initial_state.clone()),
+        ("sequence_len", inp.sequence_len.clone()),
+    ];
+    let t_run = measure(2, args.runs, || {
+        sess.run(&feeds, &outputs).expect("staged");
+    });
+
+    row(
+        "convert + stage (once)",
+        &[format!("{:.3} ms", t_stage.mean * 1e3)],
+    );
+    row("eager, per run", &[format!("{:.3} ms", t_eager.mean * 1e3)]);
+    row("staged, per run", &[format!("{:.3} ms", t_run.mean * 1e3)]);
+    rule(1);
+    let gain = t_eager.mean - t_run.mean;
+    if gain > 0.0 {
+        println!(
+            "staging pays for itself after {:.1} runs",
+            t_stage.mean / gain
+        );
+    } else {
+        println!("staging does not pay off at this size");
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let which = args.rest.first().map(String::as_str).unwrap_or("all");
+    match which {
+        "graphopt" => ablate_graphopt(&args),
+        "dispatch" => ablate_dispatch(&args),
+        "amortize" => ablate_amortize(&args),
+        "all" => {
+            ablate_graphopt(&args);
+            ablate_dispatch(&args);
+            ablate_amortize(&args);
+        }
+        other => {
+            eprintln!("unknown ablation '{other}'; use graphopt|dispatch|amortize|all");
+            std::process::exit(2);
+        }
+    }
+}

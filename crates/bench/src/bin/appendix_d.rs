@@ -1,0 +1,203 @@
+//! Regenerates the **Appendix D** speedup studies:
+//!
+//! * `appendix_d beam`    — D.1 beam search (sweep seq length × vocab)
+//! * `appendix_d lbfgs`   — D.2 L-BFGS (batch 10)
+//! * `appendix_d maml`    — D.3 MAML (1 vs 10 meta-tasks)
+//! * `appendix_d seq2seq` — D.4 seq2seq (vocab sweep × teacher forcing)
+//! * `appendix_d all`     — everything
+
+use autograph_bench::{measure, row, rule, HarnessArgs, Stats};
+use autograph_graph::Session;
+use autograph_tensor::Tensor;
+
+fn speedup(eager: Stats, staged: Stats) -> String {
+    format!("{:.2}x", eager.mean / staged.mean)
+}
+
+fn bench_beam(args: &HarnessArgs) {
+    use autograph_models::beam;
+    println!("\nAppendix D.1 — Beam search (AutoGraph speedup over Eager)");
+    println!("paper: 2x-3.2x, growing with sequence length, shrinking with vocab\n");
+    let (lens, vocabs) = if args.full {
+        (vec![32usize, 64, 128], vec![64usize, 512, 4096])
+    } else {
+        (vec![16usize, 32], vec![32usize, 256])
+    };
+    let header: Vec<String> = vocabs.iter().map(|v| format!("vocab {v}")).collect();
+    row("max_len", &header);
+    rule(header.len());
+    for &len in &lens {
+        let mut cells = Vec::new();
+        for &vocab in &vocabs {
+            let cfg = beam::BeamConfig {
+                beam: 4,
+                vocab,
+                hidden: 32,
+                eos: 0,
+            };
+            let w = beam::BeamWeights::new(&cfg, 4);
+            let init = beam::init_state(&cfg, 9);
+
+            let mut rt = beam::runtime(&cfg, false).expect("load");
+            let eager = measure(1, args.runs, || {
+                beam::run_eager(&mut rt, &w, &init, len).expect("eager");
+            });
+
+            let mut rt2 = beam::runtime(&cfg, true).expect("load");
+            let staged = beam::stage(&mut rt2, &w).expect("stage");
+            let before = staged.graph.deep_len();
+            let (og, outputs, _) =
+                autograph_graph::optimize::optimize(&staged.graph, &staged.outputs);
+            eprintln!("beam graph nodes: {before} -> {}", og.deep_len());
+            let mut sess = Session::new(og);
+            let feeds = [
+                ("init_state", init.clone()),
+                ("max_len", Tensor::scalar_i64(len as i64)),
+            ];
+            let stag = measure(1, args.runs, || {
+                sess.run(&feeds, &outputs).expect("staged");
+            });
+            cells.push(format!(
+                "{} [{:.2}ms vs {:.2}ms]",
+                speedup(eager, stag),
+                eager.mean * 1e3,
+                stag.mean * 1e3
+            ));
+        }
+        row(&format!("{len}"), &cells);
+    }
+}
+
+fn bench_lbfgs(args: &HarnessArgs) {
+    use autograph_models::lbfgs;
+    println!("\nAppendix D.2 — L-BFGS (AutoGraph speedup over Eager)");
+    println!("paper: ~2x at batch 10\n");
+    let (n, iters) = if args.full { (32, 40) } else { (8, 15) };
+    for batch in [1usize, 10] {
+        let p = lbfgs::LbfgsProblem::new(n, batch, 17);
+        let start = lbfgs::x0(p.n);
+
+        let mut rt = lbfgs::runtime(&p, false, true).expect("load");
+        let eager = measure(1, args.runs, || {
+            lbfgs::run_eager(&mut rt, &start, iters).expect("eager");
+        });
+
+        let mut rt2 = lbfgs::runtime(&p, true, false).expect("load");
+        let staged = lbfgs::stage(&mut rt2).expect("stage");
+        let mut sess = Session::new(staged.graph);
+        let outputs = staged.outputs.clone();
+        let feeds = [
+            ("x0", start.clone()),
+            ("iters", Tensor::scalar_i64(iters as i64)),
+        ];
+        let stag = measure(1, args.runs, || {
+            sess.run(&feeds, &outputs).expect("staged");
+        });
+        row(
+            &format!("batch {batch} (n={n}, iters={iters})"),
+            &[speedup(eager, stag)],
+        );
+    }
+}
+
+fn bench_maml(args: &HarnessArgs) {
+    use autograph_models::maml;
+    println!("\nAppendix D.3 — MAML sinusoid (AutoGraph speedup over Eager)");
+    println!("paper: 1.9x at 1 meta-parameter task, 2.7x at 10\n");
+    let hidden = if args.full { 40 } else { 16 };
+    for num_tasks in [1usize, 10] {
+        let params = maml::MamlParams::new(hidden, 3);
+        let batch = maml::sample_tasks(num_tasks, 10, 10);
+
+        let mut rt = maml::runtime(num_tasks, false, true).expect("load");
+        let eager = measure(1, args.runs, || {
+            maml::run_eager(&mut rt, &batch, &params).expect("eager");
+        });
+
+        let mut rt2 = maml::runtime(num_tasks, true, false).expect("load");
+        let staged = maml::stage(&mut rt2).expect("stage");
+        let mut sess = Session::new(staged.graph);
+        let outputs = staged.outputs.clone();
+        let feeds = maml::feeds(&batch, &params);
+        let stag = measure(1, args.runs, || {
+            sess.run(&feeds, &outputs).expect("staged");
+        });
+        row(
+            &format!("{num_tasks} task(s), hidden {hidden}"),
+            &[speedup(eager, stag)],
+        );
+    }
+}
+
+fn bench_seq2seq(args: &HarnessArgs) {
+    use autograph_models::seq2seq;
+    println!("\nAppendix D.4 — seq2seq (AutoGraph speedup over Eager)");
+    println!("paper: 1.18x-3.05x, growing with vocab; teacher forcing ~doubles the gain\n");
+    let vocabs = if args.full {
+        vec![128usize, 1024, 8192]
+    } else {
+        vec![32usize, 256]
+    };
+    let header: Vec<String> = vocabs.iter().map(|v| format!("vocab {v}")).collect();
+    row("mode", &header);
+    rule(header.len());
+    for tf_mode in [false, true] {
+        let mut cells = Vec::new();
+        for &vocab in &vocabs {
+            let cfg = seq2seq::Seq2SeqConfig {
+                vocab,
+                hidden: 16,
+                batch: 4,
+                src_len: if args.full { 64 } else { 32 },
+                tgt_len: if args.full { 64 } else { 32 },
+                teacher_forcing: tf_mode,
+            };
+            let w = seq2seq::Seq2SeqWeights::new(&cfg, 8);
+            let (src, tgt) = seq2seq::sequences(&cfg, 21);
+
+            let mut rt = seq2seq::runtime(&cfg, &w, false).expect("load");
+            let eager = measure(1, args.runs, || {
+                seq2seq::run_eager(&mut rt, &src, &tgt).expect("eager");
+            });
+
+            let mut rt2 = seq2seq::runtime(&cfg, &w, true).expect("load");
+            let staged = seq2seq::stage(&mut rt2).expect("stage");
+            let mut sess = Session::new(staged.graph);
+            let outputs = staged.outputs.clone();
+            let feeds = [("src_t", src.clone()), ("tgt_t", tgt.clone())];
+            let stag = measure(1, args.runs, || {
+                sess.run(&feeds, &outputs).expect("staged");
+            });
+            cells.push(speedup(eager, stag));
+        }
+        row(
+            if tf_mode {
+                "teacher forcing"
+            } else {
+                "free running"
+            },
+            &cells,
+        );
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let which = args.rest.first().map(String::as_str).unwrap_or("all");
+    match which {
+        "beam" => bench_beam(&args),
+        "lbfgs" => bench_lbfgs(&args),
+        "maml" => bench_maml(&args),
+        "seq2seq" => bench_seq2seq(&args),
+        "all" => {
+            bench_beam(&args);
+            bench_lbfgs(&args);
+            bench_maml(&args);
+            bench_seq2seq(&args);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'; use beam|lbfgs|maml|seq2seq|all");
+            std::process::exit(2);
+        }
+    }
+}

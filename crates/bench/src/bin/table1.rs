@@ -1,0 +1,86 @@
+//! Regenerates **Table 1 — RNN Cell Performance (1K examples/sec)**.
+//!
+//! Four configurations (Eager / Official / Handwritten / AutoGraph) over
+//! a grid of sequence lengths and batch sizes, hidden size 256 in `--full`
+//! mode (the paper's setting) or a laptop-scale default otherwise.
+
+use autograph_bench::{measure, row, rule, HarnessArgs};
+use autograph_graph::Session;
+use autograph_models::rnn;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (hidden, feat, seqs, batches) = if args.full {
+        (256, 64, vec![64, 128], vec![32, 64, 128])
+    } else {
+        (16, 8, vec![16, 32], vec![2, 4, 8])
+    };
+    let warmup = if args.full { 5 } else { 2 };
+    let runs = args.runs;
+
+    println!("Table 1. RNN Cell Performance (1K examples/sec)");
+    println!("hidden={hidden} feat={feat} warmup={warmup} runs={runs}\n");
+    let header: Vec<String> = seqs
+        .iter()
+        .flat_map(|s| batches.iter().map(move |b| format!("seq {s} / batch {b}")))
+        .collect();
+    row("Configuration", &header);
+    rule(header.len());
+
+    let weights = rnn::RnnWeights::new(feat, hidden, 42);
+    let mut rows: Vec<(String, Vec<String>)> = vec![
+        ("Eager".into(), vec![]),
+        ("Official".into(), vec![]),
+        ("Handwritten".into(), vec![]),
+        ("AutoGraph".into(), vec![]),
+    ];
+
+    for &seq in &seqs {
+        for &batch in &batches {
+            let inp = rnn::inputs(batch, seq, feat, hidden, 7);
+            let k_examples = batch as f64 / 1000.0;
+
+            // Eager: interpret the imperative source per run
+            let mut rt = rnn::runtime(&weights, false).expect("load");
+            let s = measure(warmup, runs, || {
+                rnn::run_eager(&mut rt, &inp).expect("eager run");
+            });
+            rows[0].1.push(s.rate(k_examples).display(1.0, 2));
+
+            // Official: fused kernel
+            let s = measure(warmup, runs, || {
+                rnn::official(&weights, &inp).expect("official run");
+            });
+            rows[1].1.push(s.rate(k_examples).display(1.0, 2));
+
+            // Handwritten graph
+            let (g, fetches) = rnn::build_handwritten(&weights);
+            let mut sess = Session::new(g);
+            let feeds = [
+                ("input_data", inp.input_data.clone()),
+                ("initial_state", inp.initial_state.clone()),
+                ("sequence_len", inp.sequence_len.clone()),
+            ];
+            let s = measure(warmup, runs, || {
+                sess.run(&feeds, &fetches).expect("handwritten run");
+            });
+            rows[2].1.push(s.rate(k_examples).display(1.0, 2));
+
+            // AutoGraph: converted + staged once, then Session::run
+            let mut rt = rnn::runtime(&weights, true).expect("load");
+            let staged = rnn::stage_autograph(&mut rt).expect("stage");
+            let mut sess = Session::new(staged.graph);
+            let outputs = staged.outputs.clone();
+            let s = measure(warmup, runs, || {
+                sess.run(&feeds, &outputs).expect("autograph run");
+            });
+            rows[3].1.push(s.rate(k_examples).display(1.0, 2));
+        }
+    }
+
+    for (label, cells) in &rows {
+        row(label, cells);
+    }
+    rule(header.len());
+    println!("\nPaper shape: Eager slowest by ~2-3x; Official ≈ Handwritten ≈ AutoGraph.");
+}

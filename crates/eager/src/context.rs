@@ -1,0 +1,291 @@
+//! The eager execution context: dynamic dispatch plus optional tape
+//! recording.
+
+use crate::registry::{default_registry, OpDef};
+use crate::tape::Tape;
+use crate::{EagerError, Result};
+use autograph_tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A tensor value in the eager runtime, optionally tracked on the active
+/// tape.
+#[derive(Debug, Clone)]
+pub struct EagerTensor {
+    tensor: Tensor,
+    node: Option<usize>,
+}
+
+impl EagerTensor {
+    /// The underlying dense tensor.
+    pub fn tensor(&self) -> &Tensor {
+        &self.tensor
+    }
+
+    /// The tape node id, if this value is tracked.
+    pub fn node(&self) -> Option<usize> {
+        self.node
+    }
+
+    /// Unwrap into the dense tensor.
+    pub fn into_tensor(self) -> Tensor {
+        self.tensor
+    }
+}
+
+impl From<Tensor> for EagerTensor {
+    fn from(tensor: Tensor) -> Self {
+        EagerTensor { tensor, node: None }
+    }
+}
+
+/// The eager runtime: an op registry and an optional recording tape.
+///
+/// Dispatch goes name → registry → boxed kernel on every call; this per-op
+/// indirection is the interpretive overhead the paper's benchmarks measure
+/// against staged graphs.
+pub struct Eager {
+    registry: HashMap<String, OpDef>,
+    tape: RefCell<Option<Tape>>,
+}
+
+impl Default for Eager {
+    fn default() -> Self {
+        Eager::new()
+    }
+}
+
+impl Eager {
+    /// Create a context with the default op registry.
+    pub fn new() -> Eager {
+        Eager {
+            registry: default_registry(),
+            tape: RefCell::new(None),
+        }
+    }
+
+    /// Dispatch an op by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ops or kernel errors.
+    pub fn op(&self, name: &str, inputs: &[&EagerTensor]) -> Result<EagerTensor> {
+        let def = self
+            .registry
+            .get(name)
+            .ok_or_else(|| EagerError::new("unknown op").in_op(name))?;
+        let raw: Vec<Tensor> = inputs.iter().map(|t| t.tensor.clone()).collect();
+        let out = (def.forward)(&raw).map_err(|e| EagerError::new(e.message).in_op(name))?;
+
+        let mut tape_ref = self.tape.borrow_mut();
+        if let Some(tape) = tape_ref.as_mut() {
+            if def.backward.is_some() && inputs.iter().any(|t| t.node.is_some()) {
+                let node = tape.record(
+                    name,
+                    inputs.iter().map(|t| t.node).collect(),
+                    raw,
+                    out.clone(),
+                );
+                return Ok(EagerTensor {
+                    tensor: out,
+                    node: Some(node),
+                });
+            }
+        }
+        Ok(EagerTensor {
+            tensor: out,
+            node: None,
+        })
+    }
+
+    /// Begin recording a fresh tape (dropping any previous one).
+    pub fn start_tape(&self) {
+        *self.tape.borrow_mut() = Some(Tape::new());
+    }
+
+    /// Stop recording and discard the tape.
+    pub fn stop_tape(&self) {
+        *self.tape.borrow_mut() = None;
+    }
+
+    /// Whether a tape is active.
+    pub fn is_taping(&self) -> bool {
+        self.tape.borrow().is_some()
+    }
+
+    /// Mark a tensor as a differentiation root (a trainable parameter).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no tape is active.
+    pub fn watch(&self, t: &EagerTensor) -> Result<EagerTensor> {
+        let mut tape_ref = self.tape.borrow_mut();
+        let tape = tape_ref
+            .as_mut()
+            .ok_or_else(|| EagerError::new("watch() requires an active tape"))?;
+        Ok(EagerTensor {
+            tensor: t.tensor.clone(),
+            node: Some(tape.watch()),
+        })
+    }
+
+    /// Compute gradients of `loss` with respect to `wrt`, consuming the
+    /// active tape. Untracked parameters yield zero gradients of their own
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no tape is active, the loss is untracked, or an op on the
+    /// path has no gradient.
+    pub fn gradient(&self, loss: &EagerTensor, wrt: &[&EagerTensor]) -> Result<Vec<Tensor>> {
+        let tape = self
+            .tape
+            .borrow_mut()
+            .take()
+            .ok_or_else(|| EagerError::new("gradient() requires an active tape"))?;
+        let loss_node = loss
+            .node
+            .ok_or_else(|| EagerError::new("loss is not tracked on the tape"))?;
+        let wrt_nodes: Vec<usize> = wrt
+            .iter()
+            .map(|t| {
+                t.node
+                    .ok_or_else(|| EagerError::new("parameter is not watched on the tape"))
+            })
+            .collect::<Result<_>>()?;
+        let grads = tape.gradient(&self.registry, loss_node, loss.tensor.shape(), &wrt_nodes)?;
+        Ok(grads
+            .into_iter()
+            .zip(wrt)
+            .map(|(g, w)| {
+                g.unwrap_or_else(|| Tensor::zeros(autograph_tensor::DType::F32, w.tensor.shape()))
+            })
+            .collect())
+    }
+
+    // ---- common shorthands (still dispatched through the registry) -------
+
+    /// `a + b`.
+    pub fn add(&self, a: &EagerTensor, b: &EagerTensor) -> Result<EagerTensor> {
+        self.op("add", &[a, b])
+    }
+
+    /// `a - b`.
+    pub fn sub(&self, a: &EagerTensor, b: &EagerTensor) -> Result<EagerTensor> {
+        self.op("sub", &[a, b])
+    }
+
+    /// `a * b`.
+    pub fn mul(&self, a: &EagerTensor, b: &EagerTensor) -> Result<EagerTensor> {
+        self.op("mul", &[a, b])
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&self, a: &EagerTensor, b: &EagerTensor) -> Result<EagerTensor> {
+        self.op("matmul", &[a, b])
+    }
+
+    /// `tanh(a)`.
+    pub fn tanh(&self, a: &EagerTensor) -> Result<EagerTensor> {
+        self.op("tanh", &[a])
+    }
+
+    /// `sigmoid(a)`.
+    pub fn sigmoid(&self, a: &EagerTensor) -> Result<EagerTensor> {
+        self.op("sigmoid", &[a])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(v: f32) -> EagerTensor {
+        EagerTensor::from(Tensor::scalar_f32(v))
+    }
+
+    #[test]
+    fn dispatch_and_unknown_op() {
+        let e = Eager::new();
+        let out = e.op("add", &[&scalar(1.0), &scalar(2.0)]).unwrap();
+        assert_eq!(out.tensor().scalar_value_f32().unwrap(), 3.0);
+        assert!(e.op("frobnicate", &[]).is_err());
+    }
+
+    #[test]
+    fn gradient_of_simple_function() {
+        // loss = sum((w*x - y)^2), dw = 2x(wx - y)
+        let e = Eager::new();
+        e.start_tape();
+        let w = e.watch(&scalar(2.0)).unwrap();
+        let x = scalar(3.0);
+        let y = scalar(10.0);
+        let pred = e.mul(&w, &x).unwrap();
+        let err = e.sub(&pred, &y).unwrap();
+        let loss = e.op("square", &[&err]).unwrap();
+        let grads = e.gradient(&loss, &[&w]).unwrap();
+        // 2 * 3 * (6 - 10) = -24
+        assert_eq!(grads[0].scalar_value_f32().unwrap(), -24.0);
+        assert!(!e.is_taping(), "gradient consumes the tape");
+    }
+
+    #[test]
+    fn tape_lifecycle_errors() {
+        let e = Eager::new();
+        assert!(e.watch(&scalar(1.0)).is_err());
+        e.start_tape();
+        let w = e.watch(&scalar(1.0)).unwrap();
+        let loss = e.mul(&w, &w).unwrap();
+        e.stop_tape();
+        assert!(e.gradient(&loss, &[&w]).is_err());
+    }
+
+    #[test]
+    fn untracked_path_gives_zero_grad() {
+        let e = Eager::new();
+        e.start_tape();
+        let w = e.watch(&scalar(1.0)).unwrap();
+        let loss = {
+            // loss does not depend on w2
+            e.mul(&w, &w).unwrap()
+        };
+        let w2 = e
+            .watch(&EagerTensor::from(Tensor::zeros(
+                autograph_tensor::DType::F32,
+                &[3],
+            )))
+            .unwrap();
+        let grads = e.gradient(&loss, &[&w2]).unwrap();
+        assert_eq!(grads[0].shape(), &[3]);
+        assert_eq!(grads[0].as_f32().unwrap(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn no_tape_means_no_tracking() {
+        let e = Eager::new();
+        let a = scalar(1.0);
+        let out = e.add(&a, &a).unwrap();
+        assert!(out.node().is_none());
+    }
+
+    #[test]
+    fn linear_regression_converges() {
+        // end-to-end eager training sanity: fit y = 3x
+        let e = Eager::new();
+        let xs = EagerTensor::from(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4, 1]).unwrap());
+        let ys = EagerTensor::from(Tensor::from_vec(vec![3.0, 6.0, 9.0, 12.0], &[4, 1]).unwrap());
+        let mut w = Tensor::from_vec(vec![0.0], &[1, 1]).unwrap();
+        for _ in 0..200 {
+            e.start_tape();
+            let wt = e.watch(&EagerTensor::from(w.clone())).unwrap();
+            let pred = e.matmul(&xs, &wt).unwrap();
+            let err = e.sub(&pred, &ys).unwrap();
+            let sq = e.op("square", &[&err]).unwrap();
+            let loss = e.op("reduce_mean", &[&sq]).unwrap();
+            let grads = e.gradient(&loss, &[&wt]).unwrap();
+            let step = grads[0].mul(&Tensor::scalar_f32(0.02)).unwrap();
+            w = w.sub(&step).unwrap();
+        }
+        assert!((w.as_f32().unwrap()[0] - 3.0).abs() < 0.05, "w = {w:?}");
+    }
+}

@@ -1,0 +1,421 @@
+//! The eager op registry: name → boxed forward kernel + optional backward
+//! rule. The string-keyed lookup and boxed indirection are deliberate —
+//! they model the per-op dispatch cost of real eager runtimes.
+
+use crate::Result;
+use autograph_tensor::{DType, Tensor};
+use std::collections::HashMap;
+
+/// Forward kernel: tensors in, tensor out.
+pub type ForwardFn = Box<dyn Fn(&[Tensor]) -> Result<Tensor> + Send + Sync>;
+
+/// Backward rule: `(grad_out, inputs, output)` → per-input gradient
+/// (None for non-differentiable inputs).
+pub type BackwardFn =
+    Box<dyn Fn(&Tensor, &[Tensor], &Tensor) -> Result<Vec<Option<Tensor>>> + Send + Sync>;
+
+/// One registered operation.
+pub struct OpDef {
+    /// Forward computation.
+    pub forward: ForwardFn,
+    /// Gradient rule, when the op is differentiable.
+    pub backward: Option<BackwardFn>,
+}
+
+/// Build the full default registry.
+pub fn default_registry() -> HashMap<String, OpDef> {
+    let mut r: HashMap<String, OpDef> = HashMap::new();
+
+    fn op(
+        r: &mut HashMap<String, OpDef>,
+        name: &str,
+        fwd: impl Fn(&[Tensor]) -> Result<Tensor> + Send + Sync + 'static,
+        bwd: Option<BackwardFn>,
+    ) {
+        r.insert(
+            name.to_string(),
+            OpDef {
+                forward: Box::new(fwd),
+                backward: bwd,
+            },
+        );
+    }
+
+    fn bwd(
+        f: impl Fn(&Tensor, &[Tensor], &Tensor) -> Result<Vec<Option<Tensor>>> + Send + Sync + 'static,
+    ) -> Option<BackwardFn> {
+        Some(Box::new(f))
+    }
+
+    /// Sum `g` down to `target`'s shape (adjoint of broadcasting).
+    fn sum_to(g: &Tensor, target: &Tensor) -> Result<Tensor> {
+        let mut out = g.clone();
+        while out.rank() > target.rank() {
+            out = out.reduce_sum(Some(0))?;
+        }
+        for ax in 0..target.rank() {
+            if target.shape()[ax] == 1 && out.shape()[ax] != 1 {
+                let summed = out.reduce_sum(Some(ax as isize))?;
+                let mut shape = summed.shape().to_vec();
+                shape.insert(ax, 1);
+                out = summed.reshape(&shape)?;
+            }
+        }
+        Ok(out)
+    }
+
+    op(
+        &mut r,
+        "add",
+        |x| Ok(x[0].add(&x[1])?),
+        bwd(|g, x, _| Ok(vec![Some(sum_to(g, &x[0])?), Some(sum_to(g, &x[1])?)])),
+    );
+    op(
+        &mut r,
+        "sub",
+        |x| Ok(x[0].sub(&x[1])?),
+        bwd(|g, x, _| {
+            Ok(vec![
+                Some(sum_to(g, &x[0])?),
+                Some(sum_to(&g.neg()?, &x[1])?),
+            ])
+        }),
+    );
+    op(
+        &mut r,
+        "mul",
+        |x| Ok(x[0].mul(&x[1])?),
+        bwd(|g, x, _| {
+            Ok(vec![
+                Some(sum_to(&g.mul(&x[1])?, &x[0])?),
+                Some(sum_to(&g.mul(&x[0])?, &x[1])?),
+            ])
+        }),
+    );
+    op(
+        &mut r,
+        "div",
+        |x| Ok(x[0].div(&x[1])?),
+        bwd(|g, x, _| {
+            let ga = g.div(&x[1])?;
+            let gb = g.mul(&x[0])?.div(&x[1].square()?)?.neg()?;
+            Ok(vec![Some(sum_to(&ga, &x[0])?), Some(sum_to(&gb, &x[1])?)])
+        }),
+    );
+    op(
+        &mut r,
+        "pow",
+        |x| Ok(x[0].pow(&x[1])?),
+        bwd(|g, x, y| {
+            let one = Tensor::scalar_f32(1.0);
+            let pm1 = x[1].sub(&one)?;
+            let ga = g.mul(&x[1].mul(&x[0].pow(&pm1)?)?)?;
+            let gb = g.mul(&y.mul(&x[0].log()?)?)?;
+            Ok(vec![Some(sum_to(&ga, &x[0])?), Some(sum_to(&gb, &x[1])?)])
+        }),
+    );
+    op(
+        &mut r,
+        "neg",
+        |x| Ok(x[0].neg()?),
+        bwd(|g, _, _| Ok(vec![Some(g.neg()?)])),
+    );
+    op(
+        &mut r,
+        "abs",
+        |x| Ok(x[0].abs()?),
+        bwd(|g, x, _| {
+            let pos = x[0].greater_equal(&Tensor::scalar_f32(0.0))?;
+            Ok(vec![Some(Tensor::select(&pos, g, &g.neg()?)?)])
+        }),
+    );
+    op(
+        &mut r,
+        "square",
+        |x| Ok(x[0].square()?),
+        bwd(|g, x, _| Ok(vec![Some(g.mul(&x[0].mul(&Tensor::scalar_f32(2.0))?)?)])),
+    );
+    op(
+        &mut r,
+        "sqrt",
+        |x| Ok(x[0].sqrt()?),
+        bwd(|g, _, y| Ok(vec![Some(g.mul(&Tensor::scalar_f32(0.5))?.div(y)?)])),
+    );
+    op(
+        &mut r,
+        "exp",
+        |x| Ok(x[0].exp()?),
+        bwd(|g, _, y| Ok(vec![Some(g.mul(y)?)])),
+    );
+    op(
+        &mut r,
+        "log",
+        |x| Ok(x[0].log()?),
+        bwd(|g, x, _| Ok(vec![Some(g.div(&x[0])?)])),
+    );
+    op(
+        &mut r,
+        "tanh",
+        |x| Ok(x[0].tanh()?),
+        bwd(|g, _, y| {
+            let one = Tensor::scalar_f32(1.0);
+            Ok(vec![Some(g.mul(&one.sub(&y.square()?)?)?)])
+        }),
+    );
+    op(
+        &mut r,
+        "sigmoid",
+        |x| Ok(x[0].sigmoid()?),
+        bwd(|g, _, y| {
+            let one = Tensor::scalar_f32(1.0);
+            Ok(vec![Some(g.mul(&y.mul(&one.sub(y)?)?)?)])
+        }),
+    );
+    op(
+        &mut r,
+        "relu",
+        |x| Ok(x[0].relu()?),
+        bwd(|g, x, _| {
+            let mask = x[0].greater(&Tensor::scalar_f32(0.0))?.cast(DType::F32);
+            Ok(vec![Some(g.mul(&mask)?)])
+        }),
+    );
+    op(
+        &mut r,
+        "matmul",
+        |x| Ok(x[0].matmul(&x[1])?),
+        bwd(|g, x, _| {
+            let ga = g.matmul(&x[1].t()?)?;
+            let gb = x[0].t()?.matmul(g)?;
+            Ok(vec![Some(ga), Some(gb)])
+        }),
+    );
+    op(
+        &mut r,
+        "maximum",
+        |x| Ok(x[0].maximum(&x[1])?),
+        bwd(|g, x, _| {
+            let m = x[0].greater_equal(&x[1])?.cast(DType::F32);
+            let one = Tensor::scalar_f32(1.0);
+            let ga = g.mul(&m)?;
+            let gb = g.mul(&one.sub(&m)?)?;
+            Ok(vec![Some(sum_to(&ga, &x[0])?), Some(sum_to(&gb, &x[1])?)])
+        }),
+    );
+    op(
+        &mut r,
+        "minimum",
+        |x| Ok(x[0].minimum(&x[1])?),
+        bwd(|g, x, _| {
+            let m = x[0].less_equal(&x[1])?.cast(DType::F32);
+            let one = Tensor::scalar_f32(1.0);
+            let ga = g.mul(&m)?;
+            let gb = g.mul(&one.sub(&m)?)?;
+            Ok(vec![Some(sum_to(&ga, &x[0])?), Some(sum_to(&gb, &x[1])?)])
+        }),
+    );
+    op(
+        &mut r,
+        "reduce_sum",
+        |x| Ok(x[0].reduce_sum(None)?),
+        bwd(|g, x, _| Ok(vec![Some(g.add(&Tensor::zeros(DType::F32, x[0].shape()))?)])),
+    );
+    op(
+        &mut r,
+        "reduce_mean",
+        |x| Ok(x[0].reduce_mean(None)?),
+        bwd(|g, x, _| {
+            let n = x[0].num_elements() as f32;
+            let b = g.add(&Tensor::zeros(DType::F32, x[0].shape()))?;
+            Ok(vec![Some(b.div(&Tensor::scalar_f32(n))?)])
+        }),
+    );
+    op(
+        &mut r,
+        "softmax_cross_entropy",
+        |x| Ok(Tensor::softmax_cross_entropy(&x[0], &x[1])?),
+        bwd(|g, x, _| {
+            let sm = x[0].softmax()?;
+            let classes = *x[0].shape().last().expect("rank 2 logits");
+            let oh = x[1].one_hot(classes)?;
+            let batch = x[0].shape()[0].max(1) as f32;
+            let d = sm.sub(&oh)?.div(&Tensor::scalar_f32(batch))?;
+            Ok(vec![Some(d.mul(g)?), None])
+        }),
+    );
+    op(
+        &mut r,
+        "select",
+        |x| Ok(Tensor::select(&x[0], &x[1], &x[2])?),
+        bwd(|g, x, _| {
+            let zero = Tensor::zeros(DType::F32, g.shape());
+            let ga = Tensor::select(&x[0], g, &zero)?;
+            let gb = Tensor::select(&x[0], &zero, g)?;
+            Ok(vec![
+                None,
+                Some(sum_to(&ga, &x[1])?),
+                Some(sum_to(&gb, &x[2])?),
+            ])
+        }),
+    );
+    op(
+        &mut r,
+        "concat1",
+        |x| Ok(Tensor::concat(x, 1)?),
+        bwd(|g, x, _| {
+            let mut grads = Vec::with_capacity(x.len());
+            let mut offset = 0i64;
+            for xi in x {
+                let w = xi.shape()[1] as i64;
+                // slice along axis 1 via transpose + slice_axis0
+                let gt = g.t()?;
+                let piece = gt.slice_axis0(Some(offset), Some(offset + w))?;
+                grads.push(Some(piece.t()?));
+                offset += w;
+            }
+            Ok(grads)
+        }),
+    );
+    op(
+        &mut r,
+        "concat0",
+        |x| Ok(Tensor::concat(x, 0)?),
+        bwd(|g, x, _| {
+            let mut grads = Vec::with_capacity(x.len());
+            let mut offset = 0i64;
+            for xi in x {
+                let h = xi.shape()[0] as i64;
+                grads.push(Some(g.slice_axis0(Some(offset), Some(offset + h))?));
+                offset += h;
+            }
+            Ok(grads)
+        }),
+    );
+    op(&mut r, "softmax", |x| Ok(x[0].softmax()?), None);
+    op(&mut r, "log_softmax", |x| Ok(x[0].log_softmax()?), None);
+
+    // ---- non-differentiable / structural ops ------------------------------
+    op(&mut r, "less", |x| Ok(x[0].less(&x[1])?), None);
+    op(&mut r, "less_equal", |x| Ok(x[0].less_equal(&x[1])?), None);
+    op(&mut r, "greater", |x| Ok(x[0].greater(&x[1])?), None);
+    op(
+        &mut r,
+        "greater_equal",
+        |x| Ok(x[0].greater_equal(&x[1])?),
+        None,
+    );
+    op(&mut r, "equal", |x| Ok(x[0].equal(&x[1])?), None);
+    op(&mut r, "not_equal", |x| Ok(x[0].not_equal(&x[1])?), None);
+    op(
+        &mut r,
+        "logical_and",
+        |x| Ok(x[0].logical_and(&x[1])?),
+        None,
+    );
+    op(&mut r, "logical_or", |x| Ok(x[0].logical_or(&x[1])?), None);
+    op(&mut r, "logical_not", |x| Ok(x[0].logical_not()?), None);
+    op(&mut r, "floordiv", |x| Ok(x[0].floordiv(&x[1])?), None);
+    op(&mut r, "mod", |x| Ok(x[0].rem(&x[1])?), None);
+    op(&mut r, "reduce_max", |x| Ok(x[0].reduce_max(None)?), None);
+    op(&mut r, "reduce_min", |x| Ok(x[0].reduce_min(None)?), None);
+    op(&mut r, "reduce_all", |x| Ok(x[0].reduce_all(None)?), None);
+    op(&mut r, "reduce_any", |x| Ok(x[0].reduce_any(None)?), None);
+    op(&mut r, "gather", |x| Ok(x[0].gather(&x[1])?), None);
+    op(&mut r, "stack", |x| Ok(Tensor::stack(x)?), None);
+    op(
+        &mut r,
+        "range",
+        |x| Ok(Tensor::range_i64(x[0].scalar_value_i64()?)),
+        None,
+    );
+    op(
+        &mut r,
+        "shape",
+        |x| {
+            let s: Vec<i64> = x[0].shape().iter().map(|&d| d as i64).collect();
+            let n = s.len();
+            Ok(Tensor::from_vec_i64(s, &[n])?)
+        },
+        None,
+    );
+    op(
+        &mut r,
+        "index",
+        |x| Ok(x[0].index_axis0(x[1].scalar_value_i64()?)?),
+        None,
+    );
+    op(
+        &mut r,
+        "setitem",
+        |x| Ok(x[0].set_index_axis0(x[1].scalar_value_i64()?, &x[2])?),
+        None,
+    );
+    op(&mut r, "argmax", |x| Ok(x[0].argmax(-1)?), None);
+    op(&mut r, "top_k_values_1", |x| Ok(x[0].top_k(1)?.0), None);
+    op(
+        &mut r,
+        "identity",
+        |x| Ok(x[0].clone()),
+        bwd(|g, _, _| Ok(vec![Some(g.clone())])),
+    );
+
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_core_ops() {
+        let r = default_registry();
+        for name in [
+            "add",
+            "matmul",
+            "tanh",
+            "softmax_cross_entropy",
+            "gather",
+            "concat1",
+        ] {
+            assert!(r.contains_key(name), "missing {name}");
+        }
+        assert!(r["add"].backward.is_some());
+        assert!(r["less"].backward.is_none());
+    }
+
+    #[test]
+    fn forward_kernels_work() {
+        let r = default_registry();
+        let a = Tensor::scalar_f32(2.0);
+        let b = Tensor::scalar_f32(5.0);
+        let out = (r["mul"].forward)(&[a, b]).unwrap();
+        assert_eq!(out.scalar_value_f32().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn backward_rule_shapes() {
+        let r = default_registry();
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::scalar_f32(3.0);
+        let out = (r["add"].forward)(&[a.clone(), b.clone()]).unwrap();
+        let g = Tensor::ones(DType::F32, &[2]);
+        let grads = (r["add"].backward.as_ref().unwrap())(&g, &[a, b], &out).unwrap();
+        assert_eq!(grads[0].as_ref().unwrap().shape(), &[2]);
+        // broadcast grad reduced back to scalar
+        assert_eq!(grads[1].as_ref().unwrap().shape(), &[] as &[usize]);
+        assert_eq!(grads[1].as_ref().unwrap().scalar_value_f32().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn concat1_backward_splits() {
+        let r = default_registry();
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0], &[1, 1]).unwrap();
+        let out = (r["concat1"].forward)(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(out.shape(), &[1, 3]);
+        let g = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]).unwrap();
+        let grads = (r["concat1"].backward.as_ref().unwrap())(&g, &[a, b], &out).unwrap();
+        assert_eq!(grads[0].as_ref().unwrap().as_f32().unwrap(), &[10.0, 20.0]);
+        assert_eq!(grads[1].as_ref().unwrap().as_f32().unwrap(), &[30.0]);
+    }
+}

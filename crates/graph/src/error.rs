@@ -1,0 +1,140 @@
+//! Graph staging and execution errors.
+//!
+//! Appendix B distinguishes *staging* errors (raised while the graph is
+//! constructed) from *runtime* errors (raised when the staged IR executes).
+//! Both carry the node name and, when available, the original user-source
+//! span that produced the node — the error-rewriting half of the source-map
+//! machinery.
+
+use autograph_pylang::Span;
+use autograph_tensor::TensorError;
+use std::fmt;
+
+/// Which execution phase produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// While building the graph (invalid argument types/shapes, Appendix B
+    /// "staging errors").
+    Staging,
+    /// While executing the staged IR (Appendix B "runtime errors").
+    Runtime,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Staging => f.write_str("staging"),
+            Phase::Runtime => f.write_str("graph execution"),
+        }
+    }
+}
+
+/// An error from graph construction or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphError {
+    /// Which phase failed.
+    pub phase: Phase,
+    /// Description of the failure.
+    pub message: String,
+    /// The name of the graph node involved, when known.
+    pub node: Option<String>,
+    /// The user-source location that staged the node, when known.
+    pub span: Option<Span>,
+}
+
+impl GraphError {
+    /// A staging-phase error.
+    pub fn staging(message: impl Into<String>) -> Self {
+        GraphError {
+            phase: Phase::Staging,
+            message: message.into(),
+            node: None,
+            span: None,
+        }
+    }
+
+    /// A runtime-phase error.
+    pub fn runtime(message: impl Into<String>) -> Self {
+        GraphError {
+            phase: Phase::Runtime,
+            message: message.into(),
+            node: None,
+            span: None,
+        }
+    }
+
+    /// Attach the offending node's name.
+    pub fn at_node(mut self, node: impl Into<String>) -> Self {
+        self.node = Some(node.into());
+        self
+    }
+
+    /// Attach the user-source span that staged the node.
+    pub fn at_span(mut self, span: Span) -> Self {
+        if !span.is_synthetic() {
+            self.span = Some(span);
+        }
+        self
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.phase, self.message)?;
+        if let Some(node) = &self.node {
+            write!(f, " (node '{node}')")?;
+        }
+        if let Some(span) = &self.span {
+            write!(f, " [from original source {span}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> Self {
+        GraphError::runtime(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_node_and_span() {
+        let e = GraphError::runtime("division by zero")
+            .at_node("div_3")
+            .at_span(Span::new(7, 5));
+        let s = e.to_string();
+        assert!(s.contains("graph execution"));
+        assert!(s.contains("div_3"));
+        assert!(s.contains("7:5"));
+    }
+
+    #[test]
+    fn staging_phase_display() {
+        assert!(GraphError::staging("bad dtype")
+            .to_string()
+            .starts_with("staging error"));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = TensorError::RankMismatch {
+            op: "matmul",
+            got: 1,
+            expected: "2",
+        };
+        let ge: GraphError = te.into();
+        assert_eq!(ge.phase, Phase::Runtime);
+    }
+
+    #[test]
+    fn synthetic_span_not_attached() {
+        let e = GraphError::runtime("x").at_span(Span::synthetic());
+        assert!(e.span.is_none());
+    }
+}

@@ -1,0 +1,530 @@
+//! The graph evaluator: executes nodes in a precomputed topological plan,
+//! handling feeds, variables, and functional control flow.
+
+use crate::ir::{GValue, Graph, NodeId, OpKind, SubGraph};
+use crate::ops;
+use crate::{GraphError, Result};
+use autograph_tensor::Tensor;
+use std::collections::HashMap;
+
+/// The state threaded through one evaluation: feed values and the mutable
+/// variable store.
+pub struct ExecEnv<'a> {
+    /// Feed values by placeholder name.
+    pub feeds: &'a HashMap<String, Tensor>,
+    /// Variable store (persists across `Session::run` calls).
+    pub variables: &'a mut HashMap<String, Tensor>,
+}
+
+/// A compiled execution plan: the nodes needed for a fetch set, in
+/// topological order. Computing the plan once and reusing it across run
+/// calls is what makes graph execution cheap per step — the "whole-program"
+/// half of the paper's performance story.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    order: Vec<NodeId>,
+}
+
+impl Plan {
+    /// Build a plan covering `fetches`.
+    pub fn compile(graph: &Graph, fetches: &[NodeId]) -> Result<Plan> {
+        let mut needed = vec![false; graph.nodes.len()];
+        let mut stack: Vec<NodeId> = fetches.to_vec();
+        // Assertions and prints execute even when their value is unused
+        // (the control-dependency wiring real AutoGraph adds).
+        for (i, n) in graph.nodes.iter().enumerate() {
+            if matches!(n.op, OpKind::AssertOp(_) | OpKind::Print(_)) {
+                stack.push(i);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            if n >= graph.nodes.len() {
+                return Err(GraphError::staging(format!(
+                    "fetch of unknown node id {n} (graph has {} nodes)",
+                    graph.nodes.len()
+                )));
+            }
+            if needed[n] {
+                continue;
+            }
+            needed[n] = true;
+            stack.extend(graph.nodes[n].inputs.iter().copied());
+        }
+        // nodes are stored in creation order, which is already topological
+        let order = (0..graph.nodes.len()).filter(|&i| needed[i]).collect();
+        Ok(Plan { order })
+    }
+
+    /// Number of nodes the plan executes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Execute the plan, returning the values of `fetches`.
+    ///
+    /// # Errors
+    ///
+    /// Returns runtime errors annotated with the failing node's name and
+    /// staged source span.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        env: &mut ExecEnv<'_>,
+        fetches: &[NodeId],
+    ) -> Result<Vec<GValue>> {
+        let mut values: Vec<Option<GValue>> = vec![None; graph.nodes.len()];
+        let mut inbuf: Vec<GValue> = Vec::with_capacity(8);
+        for &id in &self.order {
+            let node = &graph.nodes[id];
+            let v = eval_node(graph, id, &values, env, &mut inbuf)
+                .map_err(|e| e.at_node(node.name.clone()).at_span(node.span))?;
+            values[id] = Some(v);
+        }
+        fetches
+            .iter()
+            .map(|&f| {
+                values[f]
+                    .clone()
+                    .ok_or_else(|| GraphError::runtime(format!("fetch {f} was not computed")))
+            })
+            .collect()
+    }
+}
+
+/// Fill `buf` with clones of the node's input values (cheap `Arc` bumps).
+fn gather_inputs<'a>(
+    graph: &Graph,
+    id: NodeId,
+    values: &[Option<GValue>],
+    buf: &'a mut Vec<GValue>,
+) -> Result<&'a [GValue]> {
+    buf.clear();
+    for &i in &graph.nodes[id].inputs {
+        match &values[i] {
+            Some(v) => buf.push(v.clone()),
+            None => {
+                return Err(GraphError::runtime(format!(
+                    "input node {i} not yet computed"
+                )))
+            }
+        }
+    }
+    Ok(buf)
+}
+
+fn eval_node(
+    graph: &Graph,
+    id: NodeId,
+    values: &[Option<GValue>],
+    env: &mut ExecEnv<'_>,
+    inbuf: &mut Vec<GValue>,
+) -> Result<GValue> {
+    let node = &graph.nodes[id];
+    match &node.op {
+        OpKind::Placeholder { name } => env
+            .feeds
+            .get(name)
+            .cloned()
+            .map(GValue::Tensor)
+            .ok_or_else(|| GraphError::runtime(format!("placeholder '{name}' was not fed"))),
+        OpKind::Variable { name } => env
+            .variables
+            .get(name)
+            .cloned()
+            .map(GValue::Tensor)
+            .ok_or_else(|| GraphError::runtime(format!("variable '{name}' is not initialized"))),
+        OpKind::Assign { name } => {
+            let inputs = gather_inputs(graph, id, values, inbuf)?;
+            let v = inputs[0].as_tensor()?.clone();
+            env.variables.insert(name.clone(), v.clone());
+            Ok(GValue::Tensor(v))
+        }
+        OpKind::Group => {
+            let inputs = gather_inputs(graph, id, values, inbuf)?;
+            Ok(inputs.last().cloned().unwrap_or(GValue::Tuple(vec![])))
+        }
+        OpKind::Param(i) => Err(GraphError::staging(format!(
+            "param {i} evaluated outside a subgraph"
+        ))),
+        OpKind::Cond { then_g, else_g } => {
+            let inputs = gather_inputs(graph, id, values, inbuf)?.to_vec();
+            let pred = ops::as_bool_scalar(&inputs[0])?;
+            let args = &inputs[1..];
+            let branch = if pred { then_g } else { else_g };
+            let outs = eval_subgraph(branch, args, env)?;
+            Ok(pack_outputs(outs))
+        }
+        OpKind::While {
+            cond_g,
+            body_g,
+            max_iters,
+        } => {
+            let mut state = gather_inputs(graph, id, values, inbuf)?.to_vec();
+            let mut iters = 0u64;
+            // scratch buffers and pruned execution orders are computed
+            // once per loop execution and reused across iterations — the
+            // executor's job is to make staged loops cheap per step
+            let mut cond_scratch: Vec<Option<GValue>> = vec![None; cond_g.graph.nodes.len()];
+            let mut body_scratch: Vec<Option<GValue>> = vec![None; body_g.graph.nodes.len()];
+            let cond_order = subgraph_order(cond_g);
+            let body_order = subgraph_order(body_g);
+            loop {
+                let c = eval_subgraph_pruned(cond_g, &state, env, &mut cond_scratch, &cond_order)?;
+                let keep = ops::as_bool_scalar(
+                    c.first()
+                        .ok_or_else(|| GraphError::runtime("while condition returned nothing"))?,
+                )?;
+                if !keep {
+                    break;
+                }
+                state = eval_subgraph_pruned(body_g, &state, env, &mut body_scratch, &body_order)?;
+                iters += 1;
+                if let Some(limit) = max_iters {
+                    if iters >= *limit {
+                        return Err(GraphError::runtime(format!(
+                            "while loop exceeded max_iters={limit}"
+                        )));
+                    }
+                }
+            }
+            Ok(GValue::Tuple(state))
+        }
+        _ => {
+            let inputs = gather_inputs(graph, id, values, inbuf)?;
+            static PROFILE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            if *PROFILE.get_or_init(|| std::env::var_os("PROFILE_NODES").is_some()) {
+                let t0 = std::time::Instant::now();
+                let r = ops::execute(&node.op, inputs);
+                eprintln!("PROF {} {}ns", node.op.mnemonic(), t0.elapsed().as_nanos());
+                r
+            } else {
+                ops::execute(&node.op, inputs)
+            }
+        }
+    }
+}
+
+fn pack_outputs(mut outs: Vec<GValue>) -> GValue {
+    if outs.len() == 1 {
+        outs.pop().expect("len checked")
+    } else {
+        GValue::Tuple(outs)
+    }
+}
+
+/// Evaluate a subgraph with `args` bound to its params; returns the values
+/// of its declared outputs.
+pub fn eval_subgraph(
+    sub: &SubGraph,
+    args: &[GValue],
+    env: &mut ExecEnv<'_>,
+) -> Result<Vec<GValue>> {
+    let mut scratch: Vec<Option<GValue>> = vec![None; sub.graph.nodes.len()];
+    // prune to output-reachable (+ effectful) nodes: inside loop bodies a
+    // Cond executes per iteration, so skipping dead branch plumbing pays
+    let order = subgraph_order(sub);
+    eval_subgraph_pruned(sub, args, env, &mut scratch, &order)
+}
+
+/// Pruned execution order for a subgraph: nodes reachable from its
+/// outputs, plus effectful nodes (asserts, prints, assigns) which execute
+/// unconditionally.
+fn subgraph_order(sub: &SubGraph) -> Vec<NodeId> {
+    let n = sub.graph.nodes.len();
+    let mut needed = vec![false; n];
+    let mut stack: Vec<NodeId> = sub.outputs.clone();
+    for (i, node) in sub.graph.nodes.iter().enumerate() {
+        if matches!(
+            node.op,
+            OpKind::AssertOp(_) | OpKind::Print(_) | OpKind::Assign { .. }
+        ) {
+            stack.push(i);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if needed[id] {
+            continue;
+        }
+        needed[id] = true;
+        stack.extend(sub.graph.nodes[id].inputs.iter().copied());
+    }
+    (0..n).filter(|&i| needed[i]).collect()
+}
+
+/// Evaluate a subgraph along a precomputed pruned order.
+fn eval_subgraph_pruned(
+    sub: &SubGraph,
+    args: &[GValue],
+    env: &mut ExecEnv<'_>,
+    values: &mut [Option<GValue>],
+    order: &[NodeId],
+) -> Result<Vec<GValue>> {
+    if args.len() != sub.num_params {
+        return Err(GraphError::runtime(format!(
+            "subgraph expects {} arguments, got {}",
+            sub.num_params,
+            args.len()
+        )));
+    }
+    debug_assert_eq!(values.len(), sub.graph.nodes.len());
+    for v in values.iter_mut() {
+        *v = None;
+    }
+    let mut inbuf: Vec<GValue> = Vec::with_capacity(8);
+    for &id in order {
+        let node = &sub.graph.nodes[id];
+        let v = match &node.op {
+            OpKind::Param(i) => args
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| GraphError::runtime(format!("missing subgraph argument {i}"))),
+            _ => eval_node(&sub.graph, id, values, env, &mut inbuf),
+        }
+        .map_err(|e| e.at_node(node.name.clone()).at_span(node.span))?;
+        values[id] = Some(v);
+    }
+    sub.outputs
+        .iter()
+        .map(|&o| {
+            values[o]
+                .clone()
+                .ok_or_else(|| GraphError::runtime(format!("subgraph output {o} not computed")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, SubGraphBuilder};
+
+    fn env_run(graph: &Graph, fetches: &[NodeId]) -> Vec<GValue> {
+        let feeds = HashMap::new();
+        let mut vars: HashMap<String, Tensor> = graph.variables.iter().cloned().collect();
+        let mut env = ExecEnv {
+            feeds: &feeds,
+            variables: &mut vars,
+        };
+        let plan = Plan::compile(graph, fetches).unwrap();
+        plan.run(graph, &mut env, fetches).unwrap()
+    }
+
+    #[test]
+    fn plan_prunes_unneeded_nodes() {
+        let mut b = GraphBuilder::new();
+        let a = b.scalar(1.0);
+        let c = b.scalar(2.0);
+        let used = b.add_op(a, c);
+        let _unused = b.mul(a, c);
+        let g = b.finish();
+        let plan = Plan::compile(&g, &[used]).unwrap();
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn arithmetic_through_plan() {
+        let mut b = GraphBuilder::new();
+        let a = b.scalar(3.0);
+        let c = b.scalar(4.0);
+        let s = b.add_op(a, c);
+        let sq = b.mul(s, s);
+        let g = b.finish();
+        let out = env_run(&g, &[sq]);
+        assert_eq!(
+            out[0].as_tensor().unwrap().scalar_value_f32().unwrap(),
+            49.0
+        );
+    }
+
+    #[test]
+    fn placeholder_feed_and_missing_feed() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let two = b.scalar(2.0);
+        let y = b.mul(x, two);
+        let g = b.finish();
+        let mut feeds = HashMap::new();
+        feeds.insert("x".to_string(), Tensor::scalar_f32(5.0));
+        let mut vars = HashMap::new();
+        let mut env = ExecEnv {
+            feeds: &feeds,
+            variables: &mut vars,
+        };
+        let plan = Plan::compile(&g, &[y]).unwrap();
+        let out = plan.run(&g, &mut env, &[y]).unwrap();
+        assert_eq!(
+            out[0].as_tensor().unwrap().scalar_value_f32().unwrap(),
+            10.0
+        );
+
+        let empty = HashMap::new();
+        let mut env2 = ExecEnv {
+            feeds: &empty,
+            variables: &mut vars,
+        };
+        let err = plan.run(&g, &mut env2, &[y]).unwrap_err();
+        assert!(err.to_string().contains("was not fed"));
+    }
+
+    #[test]
+    fn variables_and_assign() {
+        let mut b = GraphBuilder::new();
+        let w = b.variable("w", Tensor::scalar_f32(1.0));
+        let one = b.scalar(1.0);
+        let next = b.add_op(w, one);
+        let assign = b.assign("w", next);
+        let g = b.finish();
+
+        let feeds = HashMap::new();
+        let mut vars: HashMap<String, Tensor> = g.variables.iter().cloned().collect();
+        let plan = Plan::compile(&g, &[assign]).unwrap();
+        for step in 1..=3 {
+            let mut env = ExecEnv {
+                feeds: &feeds,
+                variables: &mut vars,
+            };
+            let out = plan.run(&g, &mut env, &[assign]).unwrap();
+            assert_eq!(
+                out[0].as_tensor().unwrap().scalar_value_f32().unwrap(),
+                1.0 + step as f32
+            );
+        }
+        assert_eq!(vars["w"].scalar_value_f32().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn cond_takes_correct_branch() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let zero = b.scalar(0.0);
+        let pred = b.add(OpKind::Greater, vec![x, zero]);
+        let (mut tb, tp) = SubGraphBuilder::new(1);
+        let sq = tb.b.mul(tp[0], tp[0]);
+        let then_g = tb.finish(vec![sq]);
+        let (mut eb, ep) = SubGraphBuilder::new(1);
+        let neg = eb.b.add(OpKind::Neg, vec![ep[0]]);
+        let else_g = eb.finish(vec![neg]);
+        let c = b.cond(pred, vec![x], then_g, else_g);
+        let g = b.finish();
+
+        for (input, expected) in [(3.0f32, 9.0f32), (-4.0, 4.0)] {
+            let mut feeds = HashMap::new();
+            feeds.insert("x".to_string(), Tensor::scalar_f32(input));
+            let mut vars = HashMap::new();
+            let mut env = ExecEnv {
+                feeds: &feeds,
+                variables: &mut vars,
+            };
+            let plan = Plan::compile(&g, &[c]).unwrap();
+            let out = plan.run(&g, &mut env, &[c]).unwrap();
+            assert_eq!(
+                out[0].as_tensor().unwrap().scalar_value_f32().unwrap(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn while_loop_counts() {
+        // while i < 10: i = i + 1; s = s + i
+        let mut b = GraphBuilder::new();
+        let i0 = b.scalar(0.0);
+        let s0 = b.scalar(0.0);
+        let (mut cb, cp) = SubGraphBuilder::new(2);
+        let ten = cb.b.scalar(10.0);
+        let lt = cb.b.add(OpKind::Less, vec![cp[0], ten]);
+        let cond_g = cb.finish(vec![lt]);
+        let (mut bb, bp) = SubGraphBuilder::new(2);
+        let one = bb.b.scalar(1.0);
+        let i1 = bb.b.add_op(bp[0], one);
+        let s1 = bb.b.add_op(bp[1], i1);
+        let body_g = bb.finish(vec![i1, s1]);
+        let w = b.while_loop(vec![i0, s0], cond_g, body_g);
+        let s_final = b.tuple_get(w, 1);
+        let g = b.finish();
+        let out = env_run(&g, &[s_final]);
+        assert_eq!(
+            out[0].as_tensor().unwrap().scalar_value_f32().unwrap(),
+            55.0
+        );
+    }
+
+    #[test]
+    fn while_zero_trips() {
+        let mut b = GraphBuilder::new();
+        let i0 = b.scalar(100.0);
+        let (mut cb, cp) = SubGraphBuilder::new(1);
+        let ten = cb.b.scalar(10.0);
+        let lt = cb.b.add(OpKind::Less, vec![cp[0], ten]);
+        let cond_g = cb.finish(vec![lt]);
+        let (mut bb, bp) = SubGraphBuilder::new(1);
+        let one = bb.b.scalar(1.0);
+        let i1 = bb.b.add_op(bp[0], one);
+        let body_g = bb.finish(vec![i1]);
+        let w = b.while_loop(vec![i0], cond_g, body_g);
+        let i_final = b.tuple_get(w, 0);
+        let g = b.finish();
+        let out = env_run(&g, &[i_final]);
+        assert_eq!(
+            out[0].as_tensor().unwrap().scalar_value_f32().unwrap(),
+            100.0
+        );
+    }
+
+    #[test]
+    fn while_max_iters_guard() {
+        let mut b = GraphBuilder::new();
+        let i0 = b.scalar(0.0);
+        let (mut cb, _cp) = SubGraphBuilder::new(1);
+        let t = cb.b.constant(Tensor::scalar_bool(true));
+        let cond_g = cb.finish(vec![t]);
+        let (bb, bp) = SubGraphBuilder::new(1);
+        let body_g = bb.finish(vec![bp[0]]);
+        let w = b.add(
+            OpKind::While {
+                cond_g,
+                body_g,
+                max_iters: Some(5),
+            },
+            vec![i0],
+        );
+        let g = b.finish();
+        let feeds = HashMap::new();
+        let mut vars = HashMap::new();
+        let mut env = ExecEnv {
+            feeds: &feeds,
+            variables: &mut vars,
+        };
+        let plan = Plan::compile(&g, &[w]).unwrap();
+        let err = plan.run(&g, &mut env, &[w]).unwrap_err();
+        assert!(err.to_string().contains("max_iters"));
+    }
+
+    #[test]
+    fn error_carries_node_name() {
+        let mut b = GraphBuilder::new();
+        let bad = b.constant(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let m = b.matmul(bad, bad); // rank-1 matmul fails at runtime
+        let g = b.finish();
+        let feeds = HashMap::new();
+        let mut vars = HashMap::new();
+        let mut env = ExecEnv {
+            feeds: &feeds,
+            variables: &mut vars,
+        };
+        let plan = Plan::compile(&g, &[m]).unwrap();
+        let err = plan.run(&g, &mut env, &[m]).unwrap_err();
+        assert!(err.to_string().contains("matmul_"), "{err}");
+    }
+
+    #[test]
+    fn bad_fetch_rejected_at_compile() {
+        let g = GraphBuilder::new().finish();
+        assert!(Plan::compile(&g, &[3]).is_err());
+    }
+}

@@ -1,0 +1,586 @@
+//! The dataflow-graph data structures.
+
+use autograph_pylang::Span;
+use autograph_tensor::{DType, Tensor};
+
+/// Index of a node within its graph.
+pub type NodeId = usize;
+
+/// A value flowing along graph edges during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GValue {
+    /// A dense tensor.
+    Tensor(Tensor),
+    /// A tensor array / staged list (the "low level tensor list" of
+    /// Table 5).
+    Array(Vec<Tensor>),
+    /// A tuple of values (e.g. the state of a `While` loop).
+    Tuple(Vec<GValue>),
+}
+
+impl GValue {
+    /// View as a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime [`crate::GraphError`] if the value is not a
+    /// tensor.
+    pub fn as_tensor(&self) -> crate::Result<&Tensor> {
+        match self {
+            GValue::Tensor(t) => Ok(t),
+            other => Err(crate::GraphError::runtime(format!(
+                "expected a tensor, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// View as a tensor array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime [`crate::GraphError`] if the value is not an
+    /// array.
+    pub fn as_array(&self) -> crate::Result<&Vec<Tensor>> {
+        match self {
+            GValue::Array(v) => Ok(v),
+            other => Err(crate::GraphError::runtime(format!(
+                "expected a tensor array, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Short name of the value kind for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            GValue::Tensor(_) => "tensor",
+            GValue::Array(_) => "tensor array",
+            GValue::Tuple(_) => "tuple",
+        }
+    }
+}
+
+impl From<Tensor> for GValue {
+    fn from(t: Tensor) -> Self {
+        GValue::Tensor(t)
+    }
+}
+
+/// A nested graph with an explicit signature, used by functional control
+/// flow (`Cond` branch bodies, `While` condition/body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubGraph {
+    /// The nested graph; its `Param(i)` nodes receive the i-th argument.
+    pub graph: Graph,
+    /// Number of parameters the subgraph expects.
+    pub num_params: usize,
+    /// The nodes whose values the subgraph returns.
+    pub outputs: Vec<NodeId>,
+}
+
+/// Every operation the graph IR supports.
+///
+/// Attribute-style configuration (axes, shapes, dtypes) lives in the
+/// variant; tensor operands arrive through node inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    // ---- leaves --------------------------------------------------------
+    /// Named feed point.
+    Placeholder {
+        /// Feed name.
+        name: String,
+    },
+    /// Embedded constant.
+    Const(Tensor),
+    /// Stateful variable, read from the session's variable store.
+    Variable {
+        /// Variable name (key into the session store).
+        name: String,
+    },
+    /// Subgraph parameter `i`.
+    Param(usize),
+
+    // ---- elementwise arithmetic ---------------------------------------
+    /// `a + b` (broadcasting).
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+    /// `a / b` (true division).
+    Div,
+    /// `a // b`.
+    FloorDiv,
+    /// `a % b` (Euclidean).
+    Mod,
+    /// `a ** b`.
+    Pow,
+    /// Elementwise max.
+    Maximum,
+    /// Elementwise min.
+    Minimum,
+    /// `-a`.
+    Neg,
+    /// `|a|`.
+    Abs,
+    /// `sqrt(a)`.
+    Sqrt,
+    /// `exp(a)`.
+    Exp,
+    /// `ln(a)`.
+    Log,
+    /// `a * a`.
+    Square,
+
+    // ---- activations / nn ----------------------------------------------
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Rectified linear.
+    Relu,
+    /// Row softmax (last axis).
+    Softmax,
+    /// Row log-softmax.
+    LogSoftmax,
+    /// Mean softmax cross-entropy; inputs `[logits, labels]`.
+    SoftmaxCrossEntropy,
+
+    // ---- comparisons / logic -------------------------------------------
+    /// `a < b`.
+    Less,
+    /// `a <= b`.
+    LessEqual,
+    /// `a > b`.
+    Greater,
+    /// `a >= b`.
+    GreaterEqual,
+    /// `a == b`.
+    Equal,
+    /// `a != b`.
+    NotEqual,
+    /// Boolean and.
+    LogicalAnd,
+    /// Boolean or.
+    LogicalOr,
+    /// Boolean not.
+    LogicalNot,
+    /// `select(cond, a, b)`; inputs `[cond, a, b]`.
+    Select,
+
+    // ---- linear algebra / shape ----------------------------------------
+    /// Matrix product.
+    MatMul,
+    /// Axis permutation.
+    Transpose(Vec<usize>),
+    /// Static reshape (`usize::MAX` infers one dimension).
+    Reshape(Vec<usize>),
+    /// Insert a size-1 axis.
+    ExpandDims(isize),
+    /// Remove size-1 axes.
+    Squeeze(Option<isize>),
+    /// Cast to dtype.
+    Cast(DType),
+    /// Shape as an i64 vector.
+    Shape,
+    /// Total element count as an f32 scalar.
+    Size,
+    /// Extent of one axis as an f32 scalar.
+    DimSize(isize),
+    /// `[0..n)` as i64; input `[n]` (scalar).
+    Range,
+    /// Tile along axis 0.
+    TileAxis0(usize),
+
+    // ---- reductions ------------------------------------------------------
+    /// Sum (all or one axis).
+    ReduceSum(Option<isize>),
+    /// Mean.
+    ReduceMean(Option<isize>),
+    /// Max.
+    ReduceMax(Option<isize>),
+    /// Min.
+    ReduceMin(Option<isize>),
+    /// Boolean all.
+    ReduceAll(Option<isize>),
+    /// Boolean any.
+    ReduceAny(Option<isize>),
+    /// Index of max along axis.
+    ArgMax(isize),
+
+    // ---- indexing --------------------------------------------------------
+    /// `x[i]` along axis 0; inputs `[x, i]` (i scalar tensor).
+    IndexAxis0,
+    /// Static range slice along axis 0.
+    SliceAxis0 {
+        /// Lower bound (None = 0).
+        start: Option<i64>,
+        /// Upper bound (None = end).
+        stop: Option<i64>,
+    },
+    /// Value-semantics element write; inputs `[x, i, v]`.
+    SetItemAxis0,
+    /// Row gather; inputs `[x, indices]`.
+    Gather,
+    /// One-hot encode.
+    OneHot(usize),
+    /// Fused top-k: returns `Tuple[values, indices]` along the last axis.
+    TopK(usize),
+    /// Top-k values along last axis.
+    TopKValues(usize),
+    /// Top-k indices along last axis.
+    TopKIndices(usize),
+    /// Concatenate n inputs along axis.
+    Concat(isize),
+    /// Stack n inputs along new axis 0.
+    StackOp,
+
+    // ---- tensor arrays / staged lists -----------------------------------
+    /// New empty array.
+    ArrayNew,
+    /// Append; inputs `[array, value]`.
+    ArrayPush,
+    /// Pop; inputs `[array]`; returns `Tuple[array, value]`.
+    ArrayPop,
+    /// Write at index; inputs `[array, i, value]` (grows as needed).
+    ArrayWrite,
+    /// Read at index; inputs `[array, i]`.
+    ArrayRead,
+    /// Stack all elements into one tensor; inputs `[array]`.
+    ArrayStack,
+    /// Current length as i64 scalar.
+    ArraySize,
+
+    // ---- gradient helpers --------------------------------------------------
+    /// Reduce-sum `g` down to the shape of a reference tensor (undoes
+    /// broadcasting in gradients); inputs `[g, ref]`.
+    SumToShape,
+    /// Broadcast `g` up to the shape of a reference tensor; inputs
+    /// `[g, ref]`.
+    BroadcastLike,
+    /// Reshape `g` to the shape of a reference tensor; inputs `[g, ref]`.
+    ReshapeLike,
+    /// Fused gradient of mean softmax cross-entropy w.r.t. logits:
+    /// `(softmax(logits) - one_hot(labels)) / batch`; inputs
+    /// `[logits, labels]`.
+    XentGrad,
+
+    // ---- structure -------------------------------------------------------
+    /// Pack inputs into a tuple value.
+    TupleOp,
+    /// Project element `i` of a tuple input.
+    TupleGet(usize),
+    /// Identity (also the gradient stop).
+    Identity,
+    /// Gradient barrier: identity forward, zero gradient.
+    StopGradient,
+    /// Log the input tensor at execution time (the staged `print`);
+    /// passes the value through.
+    Print(String),
+    /// Staged assertion: fails execution when the (scalar bool) input is
+    /// false; passes the value through.
+    AssertOp(String),
+
+    // ---- state ------------------------------------------------------------
+    /// Write a variable; inputs `[value]`, attribute names the variable.
+    /// Returns the written value.
+    Assign {
+        /// Variable to write.
+        name: String,
+    },
+    /// Evaluate all inputs for effect; returns the last (a `train_op`
+    /// grouping node).
+    Group,
+
+    // ---- functional control flow ------------------------------------------
+    /// `cond(pred, then, else)`; node inputs `[pred, captures...]`, both
+    /// branches take the captures as params.
+    Cond {
+        /// Then-branch subgraph.
+        then_g: SubGraph,
+        /// Else-branch subgraph.
+        else_g: SubGraph,
+    },
+    /// Functional while loop; node inputs are the initial state, `cond_g`
+    /// returns a scalar bool, `body_g` returns the next state. The node's
+    /// value is the final state tuple.
+    While {
+        /// Condition subgraph.
+        cond_g: SubGraph,
+        /// Body subgraph.
+        body_g: SubGraph,
+        /// Iteration safety limit (None = unbounded).
+        max_iters: Option<u64>,
+    },
+}
+
+impl OpKind {
+    /// Short mnemonic used in auto-generated node names and dumps.
+    pub fn mnemonic(&self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Placeholder { .. } => "placeholder",
+            Const(_) => "const",
+            Variable { .. } => "variable",
+            Param(_) => "param",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            FloorDiv => "floordiv",
+            Mod => "mod",
+            Pow => "pow",
+            Maximum => "maximum",
+            Minimum => "minimum",
+            Neg => "neg",
+            Abs => "abs",
+            Sqrt => "sqrt",
+            Exp => "exp",
+            Log => "log",
+            Square => "square",
+            Tanh => "tanh",
+            Sigmoid => "sigmoid",
+            Relu => "relu",
+            Softmax => "softmax",
+            LogSoftmax => "log_softmax",
+            SoftmaxCrossEntropy => "softmax_xent",
+            Less => "less",
+            LessEqual => "less_equal",
+            Greater => "greater",
+            GreaterEqual => "greater_equal",
+            Equal => "equal",
+            NotEqual => "not_equal",
+            LogicalAnd => "logical_and",
+            LogicalOr => "logical_or",
+            LogicalNot => "logical_not",
+            Select => "select",
+            MatMul => "matmul",
+            Transpose(_) => "transpose",
+            Reshape(_) => "reshape",
+            ExpandDims(_) => "expand_dims",
+            Squeeze(_) => "squeeze",
+            Cast(_) => "cast",
+            Shape => "shape",
+            Size => "size",
+            DimSize(_) => "dim_size",
+            Range => "range",
+            TileAxis0(_) => "tile",
+            ReduceSum(_) => "reduce_sum",
+            ReduceMean(_) => "reduce_mean",
+            ReduceMax(_) => "reduce_max",
+            ReduceMin(_) => "reduce_min",
+            ReduceAll(_) => "reduce_all",
+            ReduceAny(_) => "reduce_any",
+            ArgMax(_) => "argmax",
+            IndexAxis0 => "index",
+            SliceAxis0 { .. } => "slice",
+            SetItemAxis0 => "setitem",
+            Gather => "gather",
+            OneHot(_) => "one_hot",
+            TopK(_) => "top_k",
+            TopKValues(_) => "top_k_values",
+            TopKIndices(_) => "top_k_indices",
+            Concat(_) => "concat",
+            StackOp => "stack",
+            SumToShape => "sum_to_shape",
+            BroadcastLike => "broadcast_like",
+            ReshapeLike => "reshape_like",
+            XentGrad => "xent_grad",
+            ArrayNew => "array_new",
+            ArrayPush => "array_push",
+            ArrayPop => "array_pop",
+            ArrayWrite => "array_write",
+            ArrayRead => "array_read",
+            ArrayStack => "array_stack",
+            ArraySize => "array_size",
+            TupleOp => "tuple",
+            TupleGet(_) => "tuple_get",
+            Identity => "identity",
+            StopGradient => "stop_gradient",
+            Print(_) => "print",
+            AssertOp(_) => "assert",
+            Assign { .. } => "assign",
+            Group => "group",
+            Cond { .. } => "cond",
+            While { .. } => "while",
+        }
+    }
+
+    /// Pure ops may be constant-folded and deduplicated; stateful or
+    /// effectful ops may not.
+    pub fn is_pure(&self) -> bool {
+        !matches!(
+            self,
+            OpKind::Placeholder { .. }
+                | OpKind::Variable { .. }
+                | OpKind::Param(_)
+                | OpKind::Assign { .. }
+                | OpKind::Group
+                | OpKind::Print(_)
+                | OpKind::AssertOp(_)
+                | OpKind::Cond { .. }
+                | OpKind::While { .. }
+        )
+    }
+}
+
+/// A graph node: an operation applied to the values of its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The operation.
+    pub op: OpKind,
+    /// Producer nodes.
+    pub inputs: Vec<NodeId>,
+    /// Unique display name (scoped).
+    pub name: String,
+    /// The user-source location that staged this node (for Appendix B
+    /// error rewriting).
+    pub span: Span,
+}
+
+/// A dataflow graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    /// All nodes, in creation order (inputs always precede users).
+    pub nodes: Vec<Node>,
+    /// Variables referenced by the graph with their initial values.
+    pub variables: Vec<(String, Tensor)>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total node count including nested subgraphs (cost metric for
+    /// optimization tests and the ablation bench).
+    pub fn deep_len(&self) -> usize {
+        let mut n = 0;
+        for node in &self.nodes {
+            n += 1;
+            match &node.op {
+                OpKind::Cond { then_g, else_g } => {
+                    n += then_g.graph.deep_len() + else_g.graph.deep_len();
+                }
+                OpKind::While { cond_g, body_g, .. } => {
+                    n += cond_g.graph.deep_len() + body_g.graph.deep_len();
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// Render as Graphviz dot (top level only).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph g {\n  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!("  n{} [label=\"{}\"];\n", i, n.name));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            for inp in &n.inputs {
+                s.push_str(&format!("  n{inp} -> n{i};\n"));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gvalue_accessors() {
+        let t = GValue::Tensor(Tensor::scalar_f32(1.0));
+        assert!(t.as_tensor().is_ok());
+        assert!(t.as_array().is_err());
+        let a = GValue::Array(vec![]);
+        assert!(a.as_array().is_ok());
+        assert_eq!(a.kind_name(), "tensor array");
+    }
+
+    #[test]
+    fn purity_classification() {
+        assert!(OpKind::Add.is_pure());
+        assert!(OpKind::Const(Tensor::scalar_f32(0.0)).is_pure());
+        assert!(!OpKind::Placeholder { name: "x".into() }.is_pure());
+        assert!(!OpKind::Assign { name: "w".into() }.is_pure());
+        assert!(!OpKind::Print(String::new()).is_pure());
+    }
+
+    #[test]
+    fn mnemonics_unique_enough() {
+        assert_eq!(OpKind::MatMul.mnemonic(), "matmul");
+        assert_eq!(
+            OpKind::While {
+                cond_g: empty_sub(),
+                body_g: empty_sub(),
+                max_iters: None
+            }
+            .mnemonic(),
+            "while"
+        );
+    }
+
+    fn empty_sub() -> SubGraph {
+        SubGraph {
+            graph: Graph::new(),
+            num_params: 0,
+            outputs: vec![],
+        }
+    }
+
+    #[test]
+    fn deep_len_counts_subgraphs() {
+        let mut inner = Graph::new();
+        inner.nodes.push(Node {
+            op: OpKind::Param(0),
+            inputs: vec![],
+            name: "p".into(),
+            span: Span::synthetic(),
+        });
+        let sub = SubGraph {
+            graph: inner,
+            num_params: 1,
+            outputs: vec![0],
+        };
+        let mut g = Graph::new();
+        g.nodes.push(Node {
+            op: OpKind::Cond {
+                then_g: sub.clone(),
+                else_g: sub,
+            },
+            inputs: vec![],
+            name: "cond".into(),
+            span: Span::synthetic(),
+        });
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.deep_len(), 3);
+    }
+
+    #[test]
+    fn dot_dump() {
+        let mut g = Graph::new();
+        g.nodes.push(Node {
+            op: OpKind::Const(Tensor::scalar_f32(1.0)),
+            inputs: vec![],
+            name: "c0".into(),
+            span: Span::synthetic(),
+        });
+        assert!(g.to_dot().contains("c0"));
+    }
+}

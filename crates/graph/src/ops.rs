@@ -1,0 +1,549 @@
+//! Kernel implementations: executing one pure op on already-computed
+//! input values. Stateful and structural ops (placeholders, variables,
+//! control flow) are handled by the executor in [`crate::exec`].
+
+use crate::ir::{GValue, OpKind};
+use crate::{GraphError, Result};
+use autograph_tensor::{DType, Tensor};
+
+fn t(inputs: &[GValue], i: usize) -> Result<&Tensor> {
+    inputs
+        .get(i)
+        .ok_or_else(|| GraphError::runtime(format!("missing input {i}")))?
+        .as_tensor()
+}
+
+fn arr(inputs: &[GValue], i: usize) -> Result<&Vec<Tensor>> {
+    inputs
+        .get(i)
+        .ok_or_else(|| GraphError::runtime(format!("missing input {i}")))?
+        .as_array()
+}
+
+/// Execute a pure op over its input values.
+///
+/// # Errors
+///
+/// Propagates kernel failures (shape/dtype mismatches etc.) as runtime
+/// [`GraphError`]s; returns a staging-phase error for ops the evaluator
+/// should have intercepted (control flow, state).
+pub fn execute(op: &OpKind, inputs: &[GValue]) -> Result<GValue> {
+    use OpKind::*;
+    let out: GValue = match op {
+        Const(c) => c.clone().into(),
+        Add => t(inputs, 0)?.add(t(inputs, 1)?)?.into(),
+        Sub => t(inputs, 0)?.sub(t(inputs, 1)?)?.into(),
+        Mul => t(inputs, 0)?.mul(t(inputs, 1)?)?.into(),
+        Div => t(inputs, 0)?.div(t(inputs, 1)?)?.into(),
+        FloorDiv => t(inputs, 0)?.floordiv(t(inputs, 1)?)?.into(),
+        Mod => t(inputs, 0)?.rem(t(inputs, 1)?)?.into(),
+        Pow => t(inputs, 0)?.pow(t(inputs, 1)?)?.into(),
+        Maximum => t(inputs, 0)?.maximum(t(inputs, 1)?)?.into(),
+        Minimum => t(inputs, 0)?.minimum(t(inputs, 1)?)?.into(),
+        Neg => t(inputs, 0)?.neg()?.into(),
+        Abs => t(inputs, 0)?.abs()?.into(),
+        Sqrt => t(inputs, 0)?.sqrt()?.into(),
+        Exp => t(inputs, 0)?.exp()?.into(),
+        Log => t(inputs, 0)?.log()?.into(),
+        Square => t(inputs, 0)?.square()?.into(),
+        Tanh => t(inputs, 0)?.tanh()?.into(),
+        Sigmoid => t(inputs, 0)?.sigmoid()?.into(),
+        Relu => t(inputs, 0)?.relu()?.into(),
+        Softmax => t(inputs, 0)?.softmax()?.into(),
+        LogSoftmax => t(inputs, 0)?.log_softmax()?.into(),
+        SoftmaxCrossEntropy => Tensor::softmax_cross_entropy(t(inputs, 0)?, t(inputs, 1)?)?.into(),
+        Less => t(inputs, 0)?.less(t(inputs, 1)?)?.into(),
+        LessEqual => t(inputs, 0)?.less_equal(t(inputs, 1)?)?.into(),
+        Greater => t(inputs, 0)?.greater(t(inputs, 1)?)?.into(),
+        GreaterEqual => t(inputs, 0)?.greater_equal(t(inputs, 1)?)?.into(),
+        Equal => t(inputs, 0)?.equal(t(inputs, 1)?)?.into(),
+        NotEqual => t(inputs, 0)?.not_equal(t(inputs, 1)?)?.into(),
+        LogicalAnd => t(inputs, 0)?.logical_and(t(inputs, 1)?)?.into(),
+        LogicalOr => t(inputs, 0)?.logical_or(t(inputs, 1)?)?.into(),
+        LogicalNot => t(inputs, 0)?.logical_not()?.into(),
+        Select => Tensor::select(t(inputs, 0)?, t(inputs, 1)?, t(inputs, 2)?)?.into(),
+        MatMul => t(inputs, 0)?.matmul(t(inputs, 1)?)?.into(),
+        Transpose(perm) => t(inputs, 0)?.transpose(perm)?.into(),
+        Reshape(shape) => t(inputs, 0)?.reshape(shape)?.into(),
+        ExpandDims(axis) => t(inputs, 0)?.expand_dims(*axis)?.into(),
+        Squeeze(axis) => t(inputs, 0)?.squeeze(*axis)?.into(),
+        Cast(dtype) => t(inputs, 0)?.cast(*dtype).into(),
+        Shape => {
+            let shape: Vec<i64> = t(inputs, 0)?.shape().iter().map(|&d| d as i64).collect();
+            let n = shape.len();
+            Tensor::from_vec_i64(shape, &[n])
+                .expect("shape vector construction")
+                .into()
+        }
+        Size => Tensor::scalar_f32(t(inputs, 0)?.num_elements() as f32).into(),
+        DimSize(axis) => {
+            let x = t(inputs, 0)?;
+            let rank = x.rank() as isize;
+            let ax = if *axis < 0 { *axis + rank } else { *axis };
+            if ax < 0 || ax >= rank {
+                return Err(GraphError::runtime(format!(
+                    "dim_size axis {axis} out of range for rank {rank}"
+                )));
+            }
+            Tensor::scalar_f32(x.shape()[ax as usize] as f32).into()
+        }
+        Range => Tensor::range_i64(t(inputs, 0)?.scalar_value_i64()?).into(),
+        TileAxis0(reps) => t(inputs, 0)?.tile_axis0(*reps)?.into(),
+        ReduceSum(axis) => t(inputs, 0)?.reduce_sum(*axis)?.into(),
+        ReduceMean(axis) => t(inputs, 0)?.reduce_mean(*axis)?.into(),
+        ReduceMax(axis) => t(inputs, 0)?.reduce_max(*axis)?.into(),
+        ReduceMin(axis) => t(inputs, 0)?.reduce_min(*axis)?.into(),
+        ReduceAll(axis) => t(inputs, 0)?.reduce_all(*axis)?.into(),
+        ReduceAny(axis) => t(inputs, 0)?.reduce_any(*axis)?.into(),
+        ArgMax(axis) => t(inputs, 0)?.argmax(*axis)?.into(),
+        IndexAxis0 => {
+            let i = t(inputs, 1)?.scalar_value_i64()?;
+            t(inputs, 0)?.index_axis0(i)?.into()
+        }
+        SliceAxis0 { start, stop } => t(inputs, 0)?.slice_axis0(*start, *stop)?.into(),
+        SetItemAxis0 => {
+            let i = t(inputs, 1)?.scalar_value_i64()?;
+            t(inputs, 0)?.set_index_axis0(i, t(inputs, 2)?)?.into()
+        }
+        Gather => t(inputs, 0)?.gather(t(inputs, 1)?)?.into(),
+        OneHot(depth) => t(inputs, 0)?.one_hot(*depth)?.into(),
+        TopK(k) => {
+            let (v, i) = t(inputs, 0)?.top_k(*k)?;
+            GValue::Tuple(vec![GValue::Tensor(v), GValue::Tensor(i)])
+        }
+        TopKValues(k) => t(inputs, 0)?.top_k(*k)?.0.into(),
+        TopKIndices(k) => t(inputs, 0)?.top_k(*k)?.1.into(),
+        Concat(axis) => {
+            let ts: Result<Vec<Tensor>> =
+                (0..inputs.len()).map(|i| t(inputs, i).cloned()).collect();
+            Tensor::concat(&ts?, *axis)?.into()
+        }
+        StackOp => {
+            let ts: Result<Vec<Tensor>> =
+                (0..inputs.len()).map(|i| t(inputs, i).cloned()).collect();
+            Tensor::stack(&ts?)?.into()
+        }
+        SumToShape => sum_to_shape(t(inputs, 0)?, t(inputs, 1)?.shape())?.into(),
+        BroadcastLike => {
+            let g = t(inputs, 0)?;
+            let r = t(inputs, 1)?;
+            if g.shape() == r.shape() {
+                g.clone().into()
+            } else {
+                g.add(&Tensor::zeros(DType::F32, r.shape()))?.into()
+            }
+        }
+        ReshapeLike => {
+            let r_shape = t(inputs, 1)?.shape().to_vec();
+            t(inputs, 0)?.reshape(&r_shape)?.into()
+        }
+        XentGrad => {
+            let logits = t(inputs, 0)?;
+            let labels = t(inputs, 1)?;
+            let sm = logits.softmax()?;
+            let classes = *logits
+                .shape()
+                .last()
+                .ok_or_else(|| GraphError::runtime("xent_grad expects rank-2 logits"))?;
+            let oh = labels.one_hot(classes)?;
+            let batch = logits.shape()[0].max(1) as f32;
+            sm.sub(&oh)?.div(&Tensor::scalar_f32(batch))?.into()
+        }
+        ArrayNew => GValue::Array(Vec::new()),
+        ArrayPush => {
+            let mut a = arr(inputs, 0)?.clone();
+            a.push(t(inputs, 1)?.clone());
+            GValue::Array(a)
+        }
+        ArrayPop => {
+            let mut a = arr(inputs, 0)?.clone();
+            let v = a
+                .pop()
+                .ok_or_else(|| GraphError::runtime("pop from empty tensor array"))?;
+            GValue::Tuple(vec![GValue::Array(a), GValue::Tensor(v)])
+        }
+        ArrayWrite => {
+            let mut a = arr(inputs, 0)?.clone();
+            let i = t(inputs, 1)?.scalar_value_i64()?;
+            if i < 0 {
+                return Err(GraphError::runtime(format!(
+                    "array write at negative index {i}"
+                )));
+            }
+            let i = i as usize;
+            let v = t(inputs, 2)?.clone();
+            if i >= a.len() {
+                a.resize(i + 1, Tensor::scalar_f32(0.0));
+            }
+            a[i] = v;
+            GValue::Array(a)
+        }
+        ArrayRead => {
+            let a = arr(inputs, 0)?;
+            let i = t(inputs, 1)?.scalar_value_i64()?;
+            let idx = if i < 0 { i + a.len() as i64 } else { i };
+            a.get(idx.max(0) as usize)
+                .filter(|_| idx >= 0)
+                .cloned()
+                .map(GValue::Tensor)
+                .ok_or_else(|| {
+                    GraphError::runtime(format!(
+                        "array read index {i} out of range for length {}",
+                        a.len()
+                    ))
+                })?
+        }
+        ArrayStack => {
+            let a = arr(inputs, 0)?;
+            if a.is_empty() {
+                return Err(GraphError::runtime("cannot stack an empty tensor array"));
+            }
+            Tensor::stack(a)?.into()
+        }
+        ArraySize => Tensor::scalar_i64(arr(inputs, 0)?.len() as i64).into(),
+        TupleOp => GValue::Tuple(inputs.to_vec()),
+        TupleGet(i) => match inputs.first() {
+            Some(GValue::Tuple(items)) => items
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| GraphError::runtime(format!("tuple index {i} out of range")))?,
+            _ => return Err(GraphError::runtime("tuple_get on non-tuple")),
+        },
+        Identity | StopGradient => inputs
+            .first()
+            .cloned()
+            .ok_or_else(|| GraphError::runtime("identity with no input"))?,
+        Print(prefix) => {
+            let v = t(inputs, 0)?;
+            println!("{prefix}{v}");
+            v.clone().into()
+        }
+        AssertOp(msg) => {
+            let v = t(inputs, 0)?;
+            if !v.scalar_value_bool().map_err(|e| {
+                GraphError::runtime(format!("assert condition must be a scalar bool: {e}"))
+            })? {
+                return Err(GraphError::runtime(format!("assertion failed: {msg}")));
+            }
+            v.clone().into()
+        }
+        Placeholder { .. }
+        | Variable { .. }
+        | Param(_)
+        | Assign { .. }
+        | Group
+        | Cond { .. }
+        | While { .. } => {
+            return Err(GraphError::staging(format!(
+                "op '{}' must be handled by the evaluator, not the kernel table",
+                op.mnemonic()
+            )));
+        }
+    };
+    Ok(out)
+}
+
+/// Reduce-sum `g` over broadcast dimensions so its shape becomes
+/// `target` (the adjoint of NumPy broadcasting).
+#[allow(clippy::needless_range_loop)]
+fn sum_to_shape(g: &Tensor, target: &[usize]) -> Result<Tensor> {
+    if g.shape() == target {
+        return Ok(g.clone());
+    }
+    let mut out = g.clone();
+    // collapse leading broadcast dimensions
+    while out.rank() > target.len() {
+        out = out.reduce_sum(Some(0))?;
+    }
+    // collapse size-1 target dims that were broadcast up
+    for ax in 0..target.len() {
+        if target[ax] == 1 && out.shape()[ax] != 1 {
+            let summed = out.reduce_sum(Some(ax as isize))?;
+            // reinstate the size-1 axis
+            let mut shape = summed.shape().to_vec();
+            shape.insert(ax, 1);
+            out = summed.reshape(&shape)?;
+        }
+    }
+    if out.shape() != target {
+        return Err(GraphError::runtime(format!(
+            "sum_to_shape: cannot reduce {:?} to {:?}",
+            g.shape(),
+            target
+        )));
+    }
+    Ok(out)
+}
+
+/// Cast a boolean scalar out of a value (used by `Cond`/`While`).
+pub fn as_bool_scalar(v: &GValue) -> Result<bool> {
+    let t = v.as_tensor()?;
+    t.scalar_value_bool()
+        .map_err(|e| GraphError::runtime(format!("predicate must be a scalar bool: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: Vec<f32>) -> GValue {
+        let n = v.len();
+        GValue::Tensor(Tensor::from_vec(v, &[n]).unwrap())
+    }
+
+    #[test]
+    fn arithmetic_kernels() {
+        let r = execute(&OpKind::Add, &[tv(vec![1.0, 2.0]), tv(vec![3.0, 4.0])]).unwrap();
+        assert_eq!(r.as_tensor().unwrap().as_f32().unwrap(), &[4.0, 6.0]);
+        let r = execute(&OpKind::Square, &[tv(vec![3.0])]).unwrap();
+        assert_eq!(r.as_tensor().unwrap().as_f32().unwrap(), &[9.0]);
+    }
+
+    #[test]
+    fn shape_and_size() {
+        let m = GValue::Tensor(Tensor::zeros(DType::F32, &[2, 3]));
+        let s = execute(&OpKind::Shape, std::slice::from_ref(&m)).unwrap();
+        assert_eq!(s.as_tensor().unwrap().as_i64().unwrap(), &[2, 3]);
+        let n = execute(&OpKind::Size, std::slice::from_ref(&m)).unwrap();
+        assert_eq!(n.as_tensor().unwrap().scalar_value_f32().unwrap(), 6.0);
+        let d = execute(&OpKind::DimSize(-1), &[m]).unwrap();
+        assert_eq!(d.as_tensor().unwrap().scalar_value_f32().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn array_ops_value_semantics() {
+        let a0 = execute(&OpKind::ArrayNew, &[]).unwrap();
+        let a1 = execute(&OpKind::ArrayPush, &[a0.clone(), tv(vec![1.0, 2.0])]).unwrap();
+        let a2 = execute(&OpKind::ArrayPush, &[a1.clone(), tv(vec![3.0, 4.0])]).unwrap();
+        // a1 unchanged (value semantics)
+        assert_eq!(a1.as_array().unwrap().len(), 1);
+        assert_eq!(a2.as_array().unwrap().len(), 2);
+        let stacked = execute(&OpKind::ArrayStack, std::slice::from_ref(&a2)).unwrap();
+        assert_eq!(stacked.as_tensor().unwrap().shape(), &[2, 2]);
+        let size = execute(&OpKind::ArraySize, std::slice::from_ref(&a2)).unwrap();
+        assert_eq!(size.as_tensor().unwrap().scalar_value_i64().unwrap(), 2);
+        let popped = execute(&OpKind::ArrayPop, &[a2]).unwrap();
+        match popped {
+            GValue::Tuple(items) => {
+                assert_eq!(items[0].as_array().unwrap().len(), 1);
+                assert_eq!(items[1].as_tensor().unwrap().as_f32().unwrap(), &[3.0, 4.0]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn array_write_grows() {
+        let a0 = execute(&OpKind::ArrayNew, &[]).unwrap();
+        let i = GValue::Tensor(Tensor::scalar_i64(2));
+        let a1 = execute(&OpKind::ArrayWrite, &[a0, i.clone(), tv(vec![7.0])]).unwrap();
+        assert_eq!(a1.as_array().unwrap().len(), 3);
+        let r = execute(&OpKind::ArrayRead, &[a1, i]).unwrap();
+        assert_eq!(r.as_tensor().unwrap().as_f32().unwrap(), &[7.0]);
+    }
+
+    #[test]
+    fn array_errors() {
+        let a0 = execute(&OpKind::ArrayNew, &[]).unwrap();
+        assert!(execute(&OpKind::ArrayPop, std::slice::from_ref(&a0)).is_err());
+        assert!(execute(&OpKind::ArrayStack, std::slice::from_ref(&a0)).is_err());
+        let i = GValue::Tensor(Tensor::scalar_i64(0));
+        assert!(execute(&OpKind::ArrayRead, &[a0, i]).is_err());
+    }
+
+    #[test]
+    fn tuple_ops() {
+        let t = execute(&OpKind::TupleOp, &[tv(vec![1.0]), tv(vec![2.0])]).unwrap();
+        let x = execute(&OpKind::TupleGet(1), std::slice::from_ref(&t)).unwrap();
+        assert_eq!(x.as_tensor().unwrap().as_f32().unwrap(), &[2.0]);
+        assert!(execute(&OpKind::TupleGet(5), &[t]).is_err());
+        assert!(execute(&OpKind::TupleGet(0), &[tv(vec![1.0])]).is_err());
+    }
+
+    #[test]
+    fn index_and_setitem() {
+        let x = GValue::Tensor(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        let i = GValue::Tensor(Tensor::scalar_i64(1));
+        let r = execute(&OpKind::IndexAxis0, &[x.clone(), i.clone()]).unwrap();
+        assert_eq!(r.as_tensor().unwrap().scalar_value_f32().unwrap(), 2.0);
+        let v = GValue::Tensor(Tensor::scalar_f32(9.0));
+        let w = execute(&OpKind::SetItemAxis0, &[x, i, v]).unwrap();
+        assert_eq!(w.as_tensor().unwrap().as_f32().unwrap(), &[1.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn structural_ops_rejected_by_kernel_table() {
+        assert!(execute(&OpKind::Param(0), &[]).is_err());
+        assert!(execute(&OpKind::Group, &[]).is_err());
+    }
+
+    #[test]
+    fn bool_scalar_helper() {
+        assert!(as_bool_scalar(&GValue::Tensor(Tensor::scalar_bool(true))).unwrap());
+        assert!(as_bool_scalar(&tv(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn shape_manipulation_kernels() {
+        let m = GValue::Tensor(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let t = execute(&OpKind::Transpose(vec![1, 0]), std::slice::from_ref(&m)).unwrap();
+        assert_eq!(
+            t.as_tensor().unwrap().as_f32().unwrap(),
+            &[1.0, 3.0, 2.0, 4.0]
+        );
+        let r = execute(&OpKind::Reshape(vec![4]), std::slice::from_ref(&m)).unwrap();
+        assert_eq!(r.as_tensor().unwrap().shape(), &[4]);
+        let e = execute(&OpKind::ExpandDims(0), std::slice::from_ref(&m)).unwrap();
+        assert_eq!(e.as_tensor().unwrap().shape(), &[1, 2, 2]);
+        let s = execute(&OpKind::Squeeze(Some(0)), &[e]).unwrap();
+        assert_eq!(s.as_tensor().unwrap().shape(), &[2, 2]);
+        let c = execute(&OpKind::Cast(DType::I64), &[m]).unwrap();
+        assert_eq!(c.as_tensor().unwrap().as_i64().unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn range_slice_tile_kernels() {
+        let n = GValue::Tensor(Tensor::scalar_i64(4));
+        let r = execute(&OpKind::Range, &[n]).unwrap();
+        assert_eq!(r.as_tensor().unwrap().as_i64().unwrap(), &[0, 1, 2, 3]);
+        let s = execute(
+            &OpKind::SliceAxis0 {
+                start: Some(1),
+                stop: Some(3),
+            },
+            std::slice::from_ref(&r),
+        )
+        .unwrap();
+        assert_eq!(s.as_tensor().unwrap().as_i64().unwrap(), &[1, 2]);
+        let t = execute(&OpKind::TileAxis0(2), &[s]).unwrap();
+        assert_eq!(t.as_tensor().unwrap().as_i64().unwrap(), &[1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn gather_onehot_concat_stack_kernels() {
+        let m = GValue::Tensor(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let idx = GValue::Tensor(Tensor::from_vec_i64(vec![1, 0], &[2]).unwrap());
+        let g = execute(&OpKind::Gather, &[m.clone(), idx.clone()]).unwrap();
+        assert_eq!(
+            g.as_tensor().unwrap().as_f32().unwrap(),
+            &[3.0, 4.0, 1.0, 2.0]
+        );
+        let oh = execute(&OpKind::OneHot(3), &[idx]).unwrap();
+        assert_eq!(oh.as_tensor().unwrap().shape(), &[2, 3]);
+        let row = GValue::Tensor(Tensor::from_vec(vec![9.0, 9.0], &[1, 2]).unwrap());
+        let cc = execute(&OpKind::Concat(0), &[m.clone(), row]).unwrap();
+        assert_eq!(cc.as_tensor().unwrap().shape(), &[3, 2]);
+        let st = execute(&OpKind::StackOp, &[tv(vec![1.0]), tv(vec![2.0])]).unwrap();
+        assert_eq!(st.as_tensor().unwrap().shape(), &[2, 1]);
+    }
+
+    #[test]
+    fn gradient_helper_kernels() {
+        let g = GValue::Tensor(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let r = GValue::Tensor(Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap());
+        // sum over the broadcast (leading) dim
+        let s = execute(&OpKind::SumToShape, &[g.clone(), r.clone()]).unwrap();
+        assert_eq!(s.as_tensor().unwrap().as_f32().unwrap(), &[4.0, 6.0]);
+        // broadcast a row grad back up
+        let b = execute(&OpKind::BroadcastLike, &[r.clone(), g.clone()]).unwrap();
+        assert_eq!(b.as_tensor().unwrap().shape(), &[2, 2]);
+        // reshape-like
+        let flat = GValue::Tensor(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap());
+        let rl = execute(&OpKind::ReshapeLike, &[flat, g.clone()]).unwrap();
+        assert_eq!(rl.as_tensor().unwrap().shape(), &[2, 2]);
+        // sum_to_shape identity fast path
+        let same = execute(&OpKind::SumToShape, &[g.clone(), g]).unwrap();
+        assert_eq!(same.as_tensor().unwrap().shape(), &[2, 2]);
+        // xent grad rows sum to ~0 (softmax minus one-hot)
+        let logits = GValue::Tensor(Tensor::from_vec(vec![1.0, 2.0, 0.5, 0.1], &[2, 2]).unwrap());
+        let labels = GValue::Tensor(Tensor::from_vec_i64(vec![0, 1], &[2]).unwrap());
+        let xg = execute(&OpKind::XentGrad, &[logits, labels]).unwrap();
+        let v = xg.as_tensor().unwrap().as_f32().unwrap().to_vec();
+        assert!(
+            (v[0] + v[1]).abs() < 1e-5 && (v[2] + v[3]).abs() < 1e-5,
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn nn_kernels_via_table() {
+        let x = tv(vec![0.0, 1.0]);
+        for (op, check0) in [
+            (OpKind::Tanh, 0.0f32),
+            (OpKind::Sigmoid, 0.5),
+            (OpKind::Relu, 0.0),
+        ] {
+            let r = execute(&op, std::slice::from_ref(&x)).unwrap();
+            assert!((r.as_tensor().unwrap().as_f32().unwrap()[0] - check0).abs() < 1e-6);
+        }
+        let sm = execute(&OpKind::Softmax, std::slice::from_ref(&x)).unwrap();
+        let total: f32 = sm.as_tensor().unwrap().as_f32().unwrap().iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        let lsm = execute(&OpKind::LogSoftmax, std::slice::from_ref(&x)).unwrap();
+        assert!(lsm.as_tensor().unwrap().as_f32().unwrap()[0] < 0.0);
+        let labels = GValue::Tensor(Tensor::from_vec_i64(vec![1], &[1]).unwrap());
+        let logits = GValue::Tensor(Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap());
+        let ce = execute(&OpKind::SoftmaxCrossEntropy, &[logits, labels]).unwrap();
+        assert!((ce.as_tensor().unwrap().scalar_value_f32().unwrap() - 2.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shape_size_dimsize_kernels() {
+        let m = GValue::Tensor(Tensor::zeros(DType::F32, &[3, 5]));
+        assert_eq!(
+            execute(&OpKind::Shape, std::slice::from_ref(&m))
+                .unwrap()
+                .as_tensor()
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            &[3, 5]
+        );
+        assert_eq!(
+            execute(&OpKind::Size, std::slice::from_ref(&m))
+                .unwrap()
+                .as_tensor()
+                .unwrap()
+                .scalar_value_f32()
+                .unwrap(),
+            15.0
+        );
+        assert!(execute(&OpKind::DimSize(7), &[m]).is_err());
+    }
+
+    #[test]
+    fn assert_kernel() {
+        let ok = GValue::Tensor(Tensor::scalar_bool(true));
+        let r = execute(&OpKind::AssertOp("m".into()), &[ok]).unwrap();
+        assert!(r.as_tensor().unwrap().scalar_value_bool().unwrap());
+        let bad = GValue::Tensor(Tensor::scalar_bool(false));
+        let err = execute(&OpKind::AssertOp("boom".into()), &[bad]).unwrap_err();
+        assert!(err.to_string().contains("boom"));
+        let non_scalar = tv(vec![1.0, 2.0]);
+        assert!(execute(&OpKind::AssertOp("m".into()), &[non_scalar]).is_err());
+    }
+
+    #[test]
+    fn fused_top_k_matches_parts() {
+        let x = tv(vec![3.0, 1.0, 2.0]);
+        let fused = execute(&OpKind::TopK(2), std::slice::from_ref(&x)).unwrap();
+        let v = execute(&OpKind::TopKValues(2), std::slice::from_ref(&x)).unwrap();
+        let i = execute(&OpKind::TopKIndices(2), &[x]).unwrap();
+        match fused {
+            GValue::Tuple(items) => {
+                assert_eq!(items[0], v);
+                assert_eq!(items[1], i);
+            }
+            _ => panic!("fused top_k must return a tuple"),
+        }
+    }
+
+    #[test]
+    fn top_k_ops() {
+        let x = tv(vec![1.0, 5.0, 3.0]);
+        let v = execute(&OpKind::TopKValues(2), std::slice::from_ref(&x)).unwrap();
+        assert_eq!(v.as_tensor().unwrap().as_f32().unwrap(), &[5.0, 3.0]);
+        let i = execute(&OpKind::TopKIndices(2), &[x]).unwrap();
+        assert_eq!(i.as_tensor().unwrap().as_i64().unwrap(), &[1, 2]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Whole-program graph optimizations — the benefit the paper attributes to
+//! graph-based systems ("can benefit from whole-program optimization").
+//!
+//! Three classic passes:
+//!
+//! * **constant folding** — pure nodes whose inputs are all constants are
+//!   evaluated at optimization time and replaced with `Const`;
+//! * **common-subexpression elimination** — identical pure nodes (same op,
+//!   same inputs) are merged;
+//! * **dead-code elimination** — nodes not reachable from any protected
+//!   output are dropped.
+//!
+//! `optimize` returns the new graph plus the remapped ids of the protected
+//! nodes. Subgraphs (`Cond`/`While` bodies) are optimized recursively with
+//! their own outputs protected.
+
+use crate::ir::{GValue, Graph, Node, NodeId, OpKind, SubGraph};
+use crate::ops;
+use std::collections::HashMap;
+
+/// Statistics from one optimization run (used by the ablation bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Nodes evaluated at optimization time.
+    pub folded: usize,
+    /// Nodes merged by CSE.
+    pub deduped: usize,
+    /// Nodes removed as dead.
+    pub eliminated: usize,
+}
+
+/// Run all passes. Returns `(optimized graph, remapped protected ids,
+/// stats)`.
+pub fn optimize(graph: &Graph, protected: &[NodeId]) -> (Graph, Vec<NodeId>, OptStats) {
+    let mut stats = OptStats::default();
+    let (g, remap) = fold_and_cse(graph, &mut stats);
+    let protected_mid: Vec<NodeId> = protected.iter().map(|&p| remap[p]).collect();
+    let (g, remap2) = dce(&g, &protected_mid, &mut stats);
+    let protected_out = protected_mid
+        .iter()
+        .map(|&p| remap2[p].expect("protected nodes survive DCE"))
+        .collect();
+    (g, protected_out, stats)
+}
+
+/// Constant folding + CSE in one forward walk.
+fn fold_and_cse(graph: &Graph, stats: &mut OptStats) -> (Graph, Vec<NodeId>) {
+    let mut out = Graph {
+        nodes: Vec::with_capacity(graph.nodes.len()),
+        variables: graph.variables.clone(),
+    };
+    let mut remap: Vec<NodeId> = Vec::with_capacity(graph.nodes.len());
+    // key: (mnemonic-discriminated op debug, inputs) — OpKind is PartialEq,
+    // so key on a rendered form for hashing.
+    let mut seen: HashMap<String, NodeId> = HashMap::new();
+
+    for node in &graph.nodes {
+        let new_inputs: Vec<NodeId> = node.inputs.iter().map(|&i| remap[i]).collect();
+
+        // Recursively optimize subgraphs.
+        let op = match &node.op {
+            OpKind::Cond { then_g, else_g } => OpKind::Cond {
+                then_g: optimize_sub(then_g, stats),
+                else_g: optimize_sub(else_g, stats),
+            },
+            OpKind::While {
+                cond_g,
+                body_g,
+                max_iters,
+            } => OpKind::While {
+                cond_g: optimize_sub(cond_g, stats),
+                body_g: optimize_sub(body_g, stats),
+                max_iters: *max_iters,
+            },
+            other => other.clone(),
+        };
+
+        // Constant folding: all-const inputs to a pure op.
+        let foldable = op.is_pure()
+            && !matches!(op, OpKind::Const(_))
+            && !new_inputs.is_empty()
+            && new_inputs
+                .iter()
+                .all(|&i| matches!(out.nodes[i].op, OpKind::Const(_)));
+        if foldable {
+            let input_values: Vec<GValue> = new_inputs
+                .iter()
+                .map(|&i| match &out.nodes[i].op {
+                    OpKind::Const(t) => GValue::Tensor(t.clone()),
+                    _ => unreachable!("checked const"),
+                })
+                .collect();
+            if let Ok(GValue::Tensor(t)) = ops::execute(&op, &input_values) {
+                stats.folded += 1;
+                let folded = OpKind::Const(t);
+                let key = cse_key(&folded, &[]);
+                if let Some(&existing) = seen.get(&key) {
+                    stats.deduped += 1;
+                    remap.push(existing);
+                    continue;
+                }
+                out.nodes.push(Node {
+                    op: folded.clone(),
+                    inputs: vec![],
+                    name: node.name.clone(),
+                    span: node.span,
+                });
+                let id = out.nodes.len() - 1;
+                seen.insert(key, id);
+                remap.push(id);
+                continue;
+            }
+        }
+
+        // CSE for pure ops.
+        if op.is_pure() {
+            let key = cse_key(&op, &new_inputs);
+            if let Some(&existing) = seen.get(&key) {
+                stats.deduped += 1;
+                remap.push(existing);
+                continue;
+            }
+            out.nodes.push(Node {
+                op: op.clone(),
+                inputs: new_inputs.clone(),
+                name: node.name.clone(),
+                span: node.span,
+            });
+            let id = out.nodes.len() - 1;
+            seen.insert(key, id);
+            remap.push(id);
+        } else {
+            out.nodes.push(Node {
+                op,
+                inputs: new_inputs,
+                name: node.name.clone(),
+                span: node.span,
+            });
+            remap.push(out.nodes.len() - 1);
+        }
+    }
+    (out, remap)
+}
+
+fn optimize_sub(sub: &SubGraph, stats: &mut OptStats) -> SubGraph {
+    let (g, outputs, s) = optimize(&sub.graph, &sub.outputs);
+    stats.folded += s.folded;
+    stats.deduped += s.deduped;
+    stats.eliminated += s.eliminated;
+    SubGraph {
+        graph: g,
+        num_params: sub.num_params,
+        outputs,
+    }
+}
+
+fn cse_key(op: &OpKind, inputs: &[NodeId]) -> String {
+    // Tensors render with a truncated preview; include full data for small
+    // constants so folding stays sound, and fall back to pointer-free
+    // structural identity for the rest.
+    match op {
+        OpKind::Const(t) if t.num_elements() <= 16 => {
+            format!("const:{:?}:{:?}:{:?}", t.dtype(), t.shape(), t.to_f32_vec())
+        }
+        OpKind::Const(t) => format!("const-big:{:p}", t.data()),
+        _ => format!("{op:?}:{inputs:?}"),
+    }
+}
+
+/// Dead-code elimination: keep only nodes reachable from `protected`.
+fn dce(graph: &Graph, protected: &[NodeId], stats: &mut OptStats) -> (Graph, Vec<Option<NodeId>>) {
+    let mut needed = vec![false; graph.nodes.len()];
+    let mut stack: Vec<NodeId> = protected.to_vec();
+    while let Some(n) = stack.pop() {
+        if needed[n] {
+            continue;
+        }
+        needed[n] = true;
+        stack.extend(graph.nodes[n].inputs.iter().copied());
+    }
+    let mut out = Graph {
+        nodes: Vec::new(),
+        variables: graph.variables.clone(),
+    };
+    let mut remap: Vec<Option<NodeId>> = vec![None; graph.nodes.len()];
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !needed[i] {
+            stats.eliminated += 1;
+            continue;
+        }
+        let inputs = node
+            .inputs
+            .iter()
+            .map(|&x| remap[x].expect("inputs precede users"))
+            .collect();
+        out.nodes.push(Node {
+            op: node.op.clone(),
+            inputs,
+            name: node.name.clone(),
+            span: node.span,
+        });
+        remap[i] = Some(out.nodes.len() - 1);
+    }
+    (out, remap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::session::Session;
+    use autograph_tensor::Tensor;
+
+    #[test]
+    fn folds_constants() {
+        let mut b = GraphBuilder::new();
+        let a = b.scalar(2.0);
+        let c = b.scalar(3.0);
+        let s = b.add_op(a, c);
+        let x = b.placeholder("x");
+        let y = b.mul(s, x);
+        let g = b.finish();
+        let (og, keep, stats) = optimize(&g, &[y]);
+        assert!(stats.folded >= 1);
+        // the add node became a const
+        assert!(og
+            .nodes
+            .iter()
+            .any(|n| matches!(&n.op, OpKind::Const(t) if t.scalar_value_f32() == Ok(5.0))));
+        let mut sess = Session::new(og);
+        let out = sess
+            .run(&[("x", Tensor::scalar_f32(4.0))], &[keep[0]])
+            .unwrap();
+        assert_eq!(out[0].scalar_value_f32().unwrap(), 20.0);
+    }
+
+    #[test]
+    fn cse_merges_duplicates() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let a1 = b.tanh(x);
+        let a2 = b.tanh(x);
+        let s = b.add_op(a1, a2);
+        let g = b.finish();
+        let (og, keep, stats) = optimize(&g, &[s]);
+        assert_eq!(stats.deduped, 1);
+        let tanh_count = og
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Tanh))
+            .count();
+        assert_eq!(tanh_count, 1);
+        let mut sess = Session::new(og);
+        let out = sess
+            .run(&[("x", Tensor::scalar_f32(1.0))], &[keep[0]])
+            .unwrap();
+        assert!((out[0].scalar_value_f32().unwrap() - 2.0 * 1f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dce_drops_unreachable() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let used = b.tanh(x);
+        let _dead1 = b.sigmoid(x);
+        let _dead2 = b.relu(x);
+        let g = b.finish();
+        let (og, keep, stats) = optimize(&g, &[used]);
+        assert_eq!(stats.eliminated, 2);
+        assert_eq!(og.len(), 2);
+        assert_eq!(keep.len(), 1);
+    }
+
+    #[test]
+    fn effectful_nodes_never_folded_or_merged() {
+        let mut b = GraphBuilder::new();
+        let c = b.scalar(1.0);
+        let p1 = b.add(OpKind::Print("a".into()), vec![c]);
+        let p2 = b.add(OpKind::Print("a".into()), vec![c]);
+        let s = b.add_op(p1, p2);
+        let g = b.finish();
+        let (og, _, _) = optimize(&g, &[s]);
+        let prints = og
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Print(_)))
+            .count();
+        assert_eq!(prints, 2);
+    }
+
+    #[test]
+    fn subgraphs_optimized_recursively() {
+        use crate::builder::SubGraphBuilder;
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let pred = {
+            let zero = b.scalar(0.0);
+            b.add(OpKind::Greater, vec![x, zero])
+        };
+        let (mut tb, tp) = SubGraphBuilder::new(1);
+        let c1 = tb.b.scalar(2.0);
+        let c2 = tb.b.scalar(3.0);
+        let c3 = tb.b.add_op(c1, c2); // foldable inside subgraph
+        let r = tb.b.mul(tp[0], c3);
+        let then_g = tb.finish(vec![r]);
+        let (eb, ep) = SubGraphBuilder::new(1);
+        let else_g = eb.finish(vec![ep[0]]);
+        let c = b.cond(pred, vec![x], then_g, else_g);
+        let g = b.finish();
+        let (og, keep, stats) = optimize(&g, &[c]);
+        assert!(stats.folded >= 1);
+        let mut sess = Session::new(og);
+        let out = sess
+            .run(&[("x", Tensor::scalar_f32(2.0))], &[keep[0]])
+            .unwrap();
+        assert_eq!(out[0].scalar_value_f32().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn optimization_preserves_variable_semantics() {
+        let mut b = GraphBuilder::new();
+        let w = b.variable("w", Tensor::scalar_f32(1.0));
+        let two = b.scalar(2.0);
+        let doubled = b.mul(w, two);
+        let assign = b.assign("w", doubled);
+        let g = b.finish();
+        let (og, keep, _) = optimize(&g, &[assign]);
+        let mut sess = Session::new(og);
+        sess.run(&[], &[keep[0]]).unwrap();
+        sess.run(&[], &[keep[0]]).unwrap();
+        assert_eq!(sess.variable("w").unwrap().scalar_value_f32().unwrap(), 4.0);
+    }
+}

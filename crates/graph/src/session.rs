@@ -1,0 +1,154 @@
+//! The `tf.Session` analog: owns a graph, its variable state and a cache
+//! of compiled execution plans.
+
+use crate::exec::{ExecEnv, Plan};
+use crate::ir::{GValue, Graph, NodeId};
+use crate::Result;
+use autograph_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Executes fetches against a graph, with persistent variables and
+/// per-fetch-set plan caching. One `run` call per training step is the
+/// "Model In Graph, Loop In Python" configuration of Table 2; a single
+/// `run` of a `While` node is "Model And Loop In Graph".
+#[derive(Debug)]
+pub struct Session {
+    graph: Graph,
+    variables: HashMap<String, Tensor>,
+    plans: HashMap<Vec<NodeId>, Plan>,
+}
+
+impl Session {
+    /// Create a session; variables start at their registered initial
+    /// values.
+    pub fn new(graph: Graph) -> Session {
+        let variables = graph.variables.iter().cloned().collect();
+        Session {
+            graph,
+            variables,
+            plans: HashMap::new(),
+        }
+    }
+
+    /// The graph this session executes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current value of a variable.
+    pub fn variable(&self, name: &str) -> Option<&Tensor> {
+        self.variables.get(name)
+    }
+
+    /// Overwrite a variable (e.g. to reset training state).
+    pub fn set_variable(&mut self, name: &str, value: Tensor) {
+        self.variables.insert(name.to_string(), value);
+    }
+
+    /// Run the graph: feed placeholders, fetch node values as tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns staging errors for invalid fetches and runtime errors from
+    /// kernels, annotated with node names/spans. Fetching a non-tensor
+    /// value (array/tuple) is an error — use [`Session::run_values`].
+    pub fn run(&mut self, feeds: &[(&str, Tensor)], fetches: &[NodeId]) -> Result<Vec<Tensor>> {
+        self.run_values(feeds, fetches)?
+            .into_iter()
+            .map(|v| v.as_tensor().cloned())
+            .collect()
+    }
+
+    /// Like [`Session::run`] but returns structured [`GValue`]s.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Session::run`].
+    pub fn run_values(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        fetches: &[NodeId],
+    ) -> Result<Vec<GValue>> {
+        let key = fetches.to_vec();
+        if !self.plans.contains_key(&key) {
+            let plan = Plan::compile(&self.graph, fetches)?;
+            self.plans.insert(key.clone(), plan);
+        }
+        let plan = &self.plans[&key];
+        let feed_map: HashMap<String, Tensor> = feeds
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        let mut env = ExecEnv {
+            feeds: &feed_map,
+            variables: &mut self.variables,
+        };
+        plan.run(&self.graph, &mut env, fetches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn run_with_feeds() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let y = b.placeholder("y");
+        let s = b.add_op(x, y);
+        let mut sess = Session::new(b.finish());
+        let out = sess
+            .run(
+                &[
+                    ("x", Tensor::scalar_f32(2.0)),
+                    ("y", Tensor::scalar_f32(5.0)),
+                ],
+                &[s],
+            )
+            .unwrap();
+        assert_eq!(out[0].scalar_value_f32().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn variables_persist_across_runs() {
+        let mut b = GraphBuilder::new();
+        let w = b.variable("w", Tensor::scalar_f32(0.0));
+        let one = b.scalar(1.0);
+        let inc = b.add_op(w, one);
+        let train = b.assign("w", inc);
+        let read = b.variable("w", Tensor::scalar_f32(0.0));
+        let mut sess = Session::new(b.finish());
+        for _ in 0..5 {
+            sess.run(&[], &[train]).unwrap();
+        }
+        let out = sess.run(&[], &[read]).unwrap();
+        assert_eq!(out[0].scalar_value_f32().unwrap(), 5.0);
+        assert_eq!(sess.variable("w").unwrap().scalar_value_f32().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn plan_cached_per_fetch_set() {
+        let mut b = GraphBuilder::new();
+        let a = b.scalar(1.0);
+        let c = b.scalar(2.0);
+        let s = b.add_op(a, c);
+        let m = b.mul(a, c);
+        let mut sess = Session::new(b.finish());
+        sess.run(&[], &[s]).unwrap();
+        sess.run(&[], &[s]).unwrap();
+        sess.run(&[], &[m]).unwrap();
+        assert_eq!(sess.plans.len(), 2);
+    }
+
+    #[test]
+    fn set_variable_resets() {
+        let mut b = GraphBuilder::new();
+        let w = b.variable("w", Tensor::scalar_f32(3.0));
+        let mut sess = Session::new(b.finish());
+        sess.set_variable("w", Tensor::scalar_f32(9.0));
+        let out = sess.run(&[], &[w]).unwrap();
+        assert_eq!(out[0].scalar_value_f32().unwrap(), 9.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Lantern backend errors.
+
+use std::fmt;
+
+/// Error from parsing, compiling or evaluating Lantern IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanternError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LanternError {
+    /// New error.
+    pub fn new(message: impl Into<String>) -> Self {
+        LanternError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LanternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lantern error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LanternError {}
+
+impl From<autograph_tensor::TensorError> for LanternError {
+    fn from(e: autograph_tensor::TensorError) -> Self {
+        LanternError::new(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            LanternError::new("unbound symbol 'x'").to_string(),
+            "lantern error: unbound symbol 'x'"
+        );
+    }
+}

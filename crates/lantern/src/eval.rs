@@ -1,0 +1,693 @@
+//! The Lantern evaluator: executes compiled programs forward-only or with
+//! reverse-mode automatic differentiation.
+//!
+//! The original Lantern implements backpropagation with delimited
+//! continuations (`shift`/`reset`) compiled into C++ — each op's generated
+//! code runs its forward computation, invokes the continuation for the
+//! rest of the program, then updates its operands' gradients. Here the
+//! continuations are reified: the forward pass pushes one backward closure
+//! per differentiable op onto a stack, and after the forward value is
+//! produced the stack unwinds in reverse — the identical computation in
+//! the identical order (see the `Snippet` listing in §8).
+
+use crate::compile::{CExpr, CFunc, LOp, Program};
+use crate::value::LValue;
+use crate::{LanternError, Result};
+use autograph_tensor::{DType, Tensor};
+use std::collections::HashMap;
+
+type BackFn = Box<dyn FnOnce(&mut GradStore)>;
+
+/// Accumulated adjoints by tape node id.
+struct GradStore {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl GradStore {
+    fn accumulate(&mut self, node: usize, g: Tensor) {
+        let slot = &mut self.grads[node];
+        *slot = Some(match slot.take() {
+            Some(acc) => acc.add(&g).expect("gradient shapes agree"),
+            None => g,
+        });
+    }
+}
+
+/// Reified continuation stack.
+struct Tape {
+    entries: Vec<(usize, BackFn)>, // (output node, backward)
+    next_node: usize,
+}
+
+impl Tape {
+    fn new() -> Tape {
+        Tape {
+            entries: Vec::new(),
+            next_node: 0,
+        }
+    }
+
+    fn node(&mut self) -> usize {
+        let n = self.next_node;
+        self.next_node += 1;
+        n
+    }
+}
+
+/// Sum `g` down to `target`'s shape (adjoint of broadcasting).
+fn sum_to(g: &Tensor, target: &Tensor) -> Tensor {
+    let mut out = g.clone();
+    while out.rank() > target.rank() {
+        out = out.reduce_sum(Some(0)).expect("reduce");
+    }
+    for ax in 0..target.rank() {
+        if target.shape()[ax] == 1 && out.shape()[ax] != 1 {
+            let summed = out.reduce_sum(Some(ax as isize)).expect("reduce");
+            let mut shape = summed.shape().to_vec();
+            shape.insert(ax, 1);
+            out = summed.reshape(&shape).expect("reshape");
+        }
+    }
+    out
+}
+
+/// Executes a compiled [`Program`].
+#[derive(Debug)]
+pub struct Engine {
+    program: Program,
+}
+
+impl Engine {
+    /// Wrap a compiled program.
+    pub fn new(program: Program) -> Engine {
+        Engine { program }
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Evaluate forward with tensor externs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing externs/params or kernel errors.
+    pub fn run(&self, externs: &[(&str, Tensor)], params: &[(&str, Tensor)]) -> Result<LValue> {
+        let ext: Vec<(&str, LValue)> = externs
+            .iter()
+            .map(|(n, t)| (*n, LValue::tensor(t.clone())))
+            .collect();
+        self.run_values(&ext, params)
+    }
+
+    /// Evaluate forward with arbitrary extern values (trees, tuples).
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing externs/params or kernel errors.
+    pub fn run_values(
+        &self,
+        externs: &[(&str, LValue)],
+        params: &[(&str, Tensor)],
+    ) -> Result<LValue> {
+        let (ext, par) = self.bind(externs, params, None)?;
+        let mut ctx = Ctx {
+            program: &self.program,
+            externs: ext,
+            params: par,
+            tape: None,
+        };
+        let mut frame = vec![LValue::Unit; self.program.main.num_slots];
+        ctx.eval(&self.program.main.body, &mut frame)
+    }
+
+    /// Evaluate and differentiate: returns the scalar loss and the
+    /// gradient of each parameter, in `params` order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program output is not a scalar tensor, or on any
+    /// kernel error.
+    pub fn grad(
+        &self,
+        externs: &[(&str, LValue)],
+        params: &[(&str, Tensor)],
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        let mut tape = Tape::new();
+        // parameters are tape leaves
+        let param_nodes: Vec<usize> = (0..self.program.param_names.len())
+            .map(|_| tape.node())
+            .collect();
+        let (ext, par) = self.bind(externs, params, Some(&param_nodes))?;
+        let mut ctx = Ctx {
+            program: &self.program,
+            externs: ext,
+            params: par,
+            tape: Some(tape),
+        };
+        let mut frame = vec![LValue::Unit; self.program.main.num_slots];
+        let out = ctx.eval(&self.program.main.body, &mut frame)?;
+        let (loss, loss_node) = match out {
+            LValue::Tensor(t, n) => (t, n),
+            other => {
+                return Err(LanternError::new(format!(
+                    "grad needs a scalar tensor output, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        let tape = ctx.tape.take().expect("tape set above");
+        let mut store = GradStore {
+            grads: vec![None; tape.next_node],
+        };
+        if let Some(ln) = loss_node {
+            store.grads[ln] = Some(Tensor::ones(DType::F32, loss.shape()));
+            // unwind the reified continuations
+            for (out_node, back) in tape.entries.into_iter().rev() {
+                if store.grads[out_node].is_some() {
+                    back(&mut store);
+                }
+            }
+        }
+        let grads = self
+            .program
+            .param_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                store.grads[param_nodes[i]].clone().unwrap_or_else(|| {
+                    let shape = params
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, t)| t.shape().to_vec())
+                        .unwrap_or_default();
+                    Tensor::zeros(DType::F32, &shape)
+                })
+            })
+            .collect();
+        Ok((loss, grads))
+    }
+
+    fn bind(
+        &self,
+        externs: &[(&str, LValue)],
+        params: &[(&str, Tensor)],
+        param_nodes: Option<&[usize]>,
+    ) -> Result<(Vec<LValue>, Vec<LValue>)> {
+        let emap: HashMap<&str, &LValue> = externs.iter().map(|(n, v)| (*n, v)).collect();
+        let ext = self
+            .program
+            .extern_names
+            .iter()
+            .map(|n| {
+                emap.get(n.as_str())
+                    .map(|v| (*v).clone())
+                    .ok_or_else(|| LanternError::new(format!("missing extern '{n}'")))
+            })
+            .collect::<Result<_>>()?;
+        let pmap: HashMap<&str, &Tensor> = params.iter().map(|(n, t)| (*n, t)).collect();
+        let par = self
+            .program
+            .param_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let t = pmap
+                    .get(n.as_str())
+                    .ok_or_else(|| LanternError::new(format!("missing parameter '{n}'")))?;
+                Ok(LValue::Tensor((*t).clone(), param_nodes.map(|ns| ns[i])))
+            })
+            .collect::<Result<_>>()?;
+        Ok((ext, par))
+    }
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    externs: Vec<LValue>,
+    params: Vec<LValue>,
+    tape: Option<Tape>,
+}
+
+impl<'a> Ctx<'a> {
+    fn eval(&mut self, e: &CExpr, frame: &mut Vec<LValue>) -> Result<LValue> {
+        match e {
+            CExpr::Scalar(v) => Ok(LValue::scalar(*v)),
+            CExpr::Local(slot) => Ok(frame[*slot].clone()),
+            CExpr::Extern(i) => Ok(self.externs[*i].clone()),
+            CExpr::Param(i) => Ok(self.params[*i].clone()),
+            CExpr::Let { slot, value, body } => {
+                let v = self.eval(value, frame)?;
+                frame[*slot] = v;
+                self.eval(body, frame)
+            }
+            CExpr::If { cond, then, els } => {
+                let c = self.eval(cond, frame)?.as_bool()?;
+                if c {
+                    self.eval(then, frame)
+                } else {
+                    self.eval(els, frame)
+                }
+            }
+            CExpr::Call { func, args } => {
+                let f: &CFunc = &self.program.funcs[*func];
+                if args.len() != f.num_params {
+                    return Err(LanternError::new(format!(
+                        "function '{}' expects {} args, got {}",
+                        f.name,
+                        f.num_params,
+                        args.len()
+                    )));
+                }
+                let mut new_frame = vec![LValue::Unit; f.num_slots];
+                for (i, a) in args.iter().enumerate() {
+                    new_frame[i] = self.eval(a, frame)?;
+                }
+                self.eval(&f.body, &mut new_frame)
+            }
+            CExpr::Attr { value, field } => {
+                let v = self.eval(value, frame)?;
+                let rec = v.as_record()?;
+                rec.fields
+                    .get(field)
+                    .cloned()
+                    .ok_or_else(|| LanternError::new(format!("record has no field '{field}'")))
+            }
+            CExpr::Tuple(items) => Ok(LValue::Tuple(
+                items
+                    .iter()
+                    .map(|i| self.eval(i, frame))
+                    .collect::<Result<_>>()?,
+            )),
+            CExpr::TupleGet { value, index } => match self.eval(value, frame)? {
+                LValue::Tuple(items) => items
+                    .get(*index)
+                    .cloned()
+                    .ok_or_else(|| LanternError::new(format!("tuple index {index} out of range"))),
+                other => Err(LanternError::new(format!(
+                    "get on non-tuple {}",
+                    other.kind()
+                ))),
+            },
+            CExpr::Op { op, args } => match args.as_slice() {
+                // common arities evaluate into stack slots (no allocation
+                // on the compiled hot path)
+                [a] => {
+                    let va = self.eval(a, frame)?;
+                    self.apply(*op, &[va])
+                }
+                [a, b] => {
+                    let va = self.eval(a, frame)?;
+                    let vb = self.eval(b, frame)?;
+                    self.apply(*op, &[va, vb])
+                }
+                _ => {
+                    let vals: Vec<LValue> = args
+                        .iter()
+                        .map(|a| self.eval(a, frame))
+                        .collect::<Result<_>>()?;
+                    self.apply(*op, &vals)
+                }
+            },
+        }
+    }
+
+    fn apply(&mut self, op: LOp, vals: &[LValue]) -> Result<LValue> {
+        use LOp::*;
+        // boolean ops first (no AD)
+        match op {
+            And => return Ok(LValue::Bool(vals[0].as_bool()? && vals[1].as_bool()?)),
+            Or => return Ok(LValue::Bool(vals[0].as_bool()? || vals[1].as_bool()?)),
+            Not => return Ok(LValue::Bool(!vals[0].as_bool()?)),
+            Lt | Le | Gt | Ge | EqOp => {
+                let a = vals[0].as_tensor()?;
+                let b = vals[1].as_tensor()?;
+                let r = match op {
+                    Lt => a.less(b)?,
+                    Le => a.less_equal(b)?,
+                    Gt => a.greater(b)?,
+                    Ge => a.greater_equal(b)?,
+                    _ => a.equal(b)?,
+                };
+                return Ok(LValue::Tensor(r, None));
+            }
+            _ => {}
+        }
+
+        // borrow tensors without allocating (hot path)
+        let missing = || LanternError::new("missing operand");
+        let t0 = match vals.first() {
+            Some(v) => Some(v.as_tensor()?),
+            None => None,
+        };
+        let t1 = match vals.get(1) {
+            Some(v) => Some(v.as_tensor()?),
+            None => None,
+        };
+        let a = t0.ok_or_else(missing);
+        let b = t1.ok_or_else(missing);
+
+        let out = match op {
+            Add => a?.add(b?)?,
+            Sub => a?.sub(b?)?,
+            Mul => a?.mul(b?)?,
+            Div => a?.div(b?)?,
+            Neg => a?.neg()?,
+            Exp => a?.exp()?,
+            Log => a?.log()?,
+            Tanh => a?.tanh()?,
+            Sigmoid => a?.sigmoid()?,
+            Relu => a?.relu()?,
+            Square => a?.square()?,
+            Sqrt => a?.sqrt()?,
+            MatMul => a?.matmul(b?)?,
+            Concat0 => {
+                let ts: Result<Vec<Tensor>> = vals.iter().map(|v| v.as_tensor().cloned()).collect();
+                Tensor::concat(&ts?, 0)?
+            }
+            Concat1 => {
+                let ts: Result<Vec<Tensor>> = vals.iter().map(|v| v.as_tensor().cloned()).collect();
+                Tensor::concat(&ts?, 1)?
+            }
+            ReduceSum => a?.reduce_sum(None)?,
+            ReduceMean => a?.reduce_mean(None)?,
+            SoftmaxXent => Tensor::softmax_cross_entropy(a?, b?)?,
+            And | Or | Not | Lt | Le | Gt | Ge | EqOp => unreachable!("handled above"),
+        };
+
+        let Some(tape) = self.tape.as_mut() else {
+            return Ok(LValue::Tensor(out, None));
+        };
+        let nodes: Vec<Option<usize>> = vals
+            .iter()
+            .map(|v| match v {
+                LValue::Tensor(_, n) => *n,
+                _ => None,
+            })
+            .collect();
+        if nodes.iter().all(Option::is_none) {
+            return Ok(LValue::Tensor(out, None));
+        }
+        let out_node = tape.node();
+        let saved: Vec<Tensor> = vals
+            .iter()
+            .map(|v| v.as_tensor().expect("numeric op inputs").clone())
+            .collect();
+        let out_saved = out.clone();
+        let back: BackFn = Box::new(move |store: &mut GradStore| {
+            let g = store.grads[out_node].clone().expect("guarded by caller");
+            let contribs: Vec<Option<Tensor>> = match op {
+                Add => vec![Some(sum_to(&g, &saved[0])), Some(sum_to(&g, &saved[1]))],
+                Sub => vec![
+                    Some(sum_to(&g, &saved[0])),
+                    Some(sum_to(&g.neg().expect("neg"), &saved[1])),
+                ],
+                Mul => vec![
+                    Some(sum_to(&g.mul(&saved[1]).expect("mul"), &saved[0])),
+                    Some(sum_to(&g.mul(&saved[0]).expect("mul"), &saved[1])),
+                ],
+                Div => {
+                    let ga = g.div(&saved[1]).expect("div");
+                    let gb = g
+                        .mul(&saved[0])
+                        .and_then(|t| t.div(&saved[1].square().expect("square")))
+                        .and_then(|t| t.neg())
+                        .expect("div grad");
+                    vec![Some(sum_to(&ga, &saved[0])), Some(sum_to(&gb, &saved[1]))]
+                }
+                Neg => vec![Some(g.neg().expect("neg"))],
+                Exp => vec![Some(g.mul(&out_saved).expect("mul"))],
+                Log => vec![Some(g.div(&saved[0]).expect("div"))],
+                Tanh => {
+                    let one = Tensor::scalar_f32(1.0);
+                    let d = one.sub(&out_saved.square().expect("sq")).expect("sub");
+                    vec![Some(g.mul(&d).expect("mul"))]
+                }
+                Sigmoid => {
+                    let one = Tensor::scalar_f32(1.0);
+                    let d = out_saved
+                        .mul(&one.sub(&out_saved).expect("sub"))
+                        .expect("mul");
+                    vec![Some(g.mul(&d).expect("mul"))]
+                }
+                Relu => {
+                    let mask = saved[0]
+                        .greater(&Tensor::scalar_f32(0.0))
+                        .expect("cmp")
+                        .cast(DType::F32);
+                    vec![Some(g.mul(&mask).expect("mul"))]
+                }
+                Square => {
+                    let two = Tensor::scalar_f32(2.0);
+                    vec![Some(g.mul(&saved[0].mul(&two).expect("mul")).expect("mul"))]
+                }
+                Sqrt => {
+                    let half = Tensor::scalar_f32(0.5);
+                    vec![Some(
+                        g.mul(&half).expect("mul").div(&out_saved).expect("div"),
+                    )]
+                }
+                MatMul => {
+                    let ga = g.matmul(&saved[1].t().expect("t")).expect("matmul");
+                    let gb = saved[0].t().expect("t").matmul(&g).expect("matmul");
+                    vec![Some(ga), Some(gb)]
+                }
+                Concat0 => {
+                    let mut out_grads = Vec::with_capacity(saved.len());
+                    let mut offset = 0i64;
+                    for s in &saved {
+                        let h = s.shape()[0] as i64;
+                        out_grads.push(Some(
+                            g.slice_axis0(Some(offset), Some(offset + h))
+                                .expect("slice"),
+                        ));
+                        offset += h;
+                    }
+                    out_grads
+                }
+                Concat1 => {
+                    let gt = g.t().expect("t");
+                    let mut out_grads = Vec::with_capacity(saved.len());
+                    let mut offset = 0i64;
+                    for s in &saved {
+                        let w = s.shape()[1] as i64;
+                        let piece = gt
+                            .slice_axis0(Some(offset), Some(offset + w))
+                            .expect("slice");
+                        out_grads.push(Some(piece.t().expect("t")));
+                        offset += w;
+                    }
+                    out_grads
+                }
+                ReduceSum => vec![Some(
+                    g.add(&Tensor::zeros(DType::F32, saved[0].shape()))
+                        .expect("bcast"),
+                )],
+                ReduceMean => {
+                    let n = saved[0].num_elements() as f32;
+                    let b = g
+                        .add(&Tensor::zeros(DType::F32, saved[0].shape()))
+                        .expect("bcast");
+                    vec![Some(b.div(&Tensor::scalar_f32(n)).expect("div"))]
+                }
+                SoftmaxXent => {
+                    let sm = saved[0].softmax().expect("softmax");
+                    let classes = *saved[0].shape().last().expect("rank 2");
+                    let oh = saved[1].one_hot(classes).expect("one_hot");
+                    let batch = saved[0].shape()[0].max(1) as f32;
+                    let d = sm
+                        .sub(&oh)
+                        .and_then(|t| t.div(&Tensor::scalar_f32(batch)))
+                        .expect("xent grad");
+                    vec![Some(d.mul(&g).expect("mul")), None]
+                }
+                And | Or | Not | Lt | Le | Gt | Ge | EqOp => unreachable!(),
+            };
+            for (node, contrib) in nodes.iter().zip(contribs) {
+                if let (Some(node), Some(contrib)) = (node, contrib) {
+                    store.accumulate(*node, contrib);
+                }
+            }
+        });
+        tape.entries.push((out_node, back));
+        Ok(LValue::Tensor(out, Some(out_node)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sexpr::parse;
+    use crate::value::Record;
+
+    fn engine(src: &str) -> Engine {
+        Engine::new(Program::compile(&parse(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn factorial_recursion() {
+        let e = engine(
+            "(program (def fact (n) (if (le n 1) 1 (mul n (call fact (sub n 1))))) (call fact (extern n)))",
+        );
+        let out = e.run(&[("n", Tensor::scalar_f32(6.0))], &[]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().scalar_value_f32().unwrap(), 720.0);
+    }
+
+    #[test]
+    fn tree_prod_recursion() {
+        // the paper's §8 example: product of tree values with a base case
+        let e = engine(
+            "(program \
+              (def tree_prod (base tree) \
+                (if (attr tree is_empty) base \
+                  (mul (mul (call tree_prod base (attr tree left)) \
+                            (call tree_prod base (attr tree right))) \
+                       (attr tree value)))) \
+              (call tree_prod (extern base) (extern tree)))",
+        );
+        let leaf = LValue::Record(Record::new(vec![("is_empty", LValue::Bool(true))]));
+        let node = |l: LValue, r: LValue, v: f32| {
+            LValue::Record(Record::new(vec![
+                ("is_empty", LValue::Bool(false)),
+                ("left", l),
+                ("right", r),
+                ("value", LValue::scalar(v)),
+            ]))
+        };
+        let tree = node(node(leaf.clone(), leaf.clone(), 2.0), leaf.clone(), 3.0);
+        let out = e
+            .run_values(&[("base", LValue::scalar(1.0)), ("tree", tree)], &[])
+            .unwrap();
+        assert_eq!(out.as_tensor().unwrap().scalar_value_f32().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn let_binding_and_tuples() {
+        let e = engine("(program (let x (add 1 2) (get (tuple x (mul x x)) 1)))");
+        let out = e.run(&[], &[]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().scalar_value_f32().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn grad_of_square() {
+        // loss = (w * x)^2, dw = 2wx^2 = 2*3*4 = 24 at w=3, x=2
+        let e = engine("(program (square (mul (param w) (extern x))))");
+        let (loss, grads) = e
+            .grad(
+                &[("x", LValue::scalar(2.0))],
+                &[("w", Tensor::scalar_f32(3.0))],
+            )
+            .unwrap();
+        assert_eq!(loss.scalar_value_f32().unwrap(), 36.0);
+        assert_eq!(grads[0].scalar_value_f32().unwrap(), 24.0);
+    }
+
+    #[test]
+    fn grad_through_recursion() {
+        // f(n) = w * f(n-1), f(0) = 1  =>  f(3) = w^3, df/dw = 3w^2
+        let e = engine(
+            "(program \
+              (def f (n) (if (le n 0) 1 (mul (param w) (call f (sub n 1))))) \
+              (call f (extern n)))",
+        );
+        let (loss, grads) = e
+            .grad(
+                &[("n", LValue::scalar(3.0))],
+                &[("w", Tensor::scalar_f32(2.0))],
+            )
+            .unwrap();
+        assert_eq!(loss.scalar_value_f32().unwrap(), 8.0);
+        assert_eq!(grads[0].scalar_value_f32().unwrap(), 12.0);
+    }
+
+    #[test]
+    fn grad_matmul_mse() {
+        // loss = mean((x@w - y)^2)
+        let e = engine(
+            "(program (reduce_mean (square (sub (matmul (extern x) (param w)) (extern y)))))",
+        );
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let y = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap();
+        let w = Tensor::from_vec(vec![0.0, 0.0], &[2, 1]).unwrap();
+        let (loss, grads) = e
+            .grad(
+                &[("x", LValue::tensor(x)), ("y", LValue::tensor(y))],
+                &[("w", w)],
+            )
+            .unwrap();
+        assert!((loss.scalar_value_f32().unwrap() - 2.5).abs() < 1e-5);
+        // d mean((xw-y)^2)/dw = 2/N * x^T(xw - y) = [-1, -2]
+        let g = grads[0].as_f32().unwrap();
+        assert!(
+            (g[0] + 1.0).abs() < 1e-5 && (g[1] + 2.0).abs() < 1e-5,
+            "{g:?}"
+        );
+    }
+
+    #[test]
+    fn grad_concat1() {
+        // loss = sum(square(concat1(a, w))) — grad flows only into w
+        let e = engine("(program (reduce_sum (square (concat1 (extern a) (param w)))))");
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let w = Tensor::from_vec(vec![3.0], &[1, 1]).unwrap();
+        let (loss, grads) = e.grad(&[("a", LValue::tensor(a))], &[("w", w)]).unwrap();
+        assert_eq!(loss.scalar_value_f32().unwrap(), 14.0);
+        assert_eq!(grads[0].as_f32().unwrap(), &[6.0]);
+    }
+
+    #[test]
+    fn missing_extern_or_param_errors() {
+        let e = engine("(program (add (extern a) (param w)))");
+        assert!(e.run(&[], &[("w", Tensor::scalar_f32(1.0))]).is_err());
+        assert!(e.run(&[("a", Tensor::scalar_f32(1.0))], &[]).is_err());
+    }
+
+    #[test]
+    fn grad_unused_param_is_zero() {
+        let e = engine("(program (square (extern x)))");
+        // `w` never interned -> param_names empty -> grads empty; make a
+        // program where the param is reachable but untouched by the loss
+        let e2 = engine("(program (let u (param w) (square (extern x))))");
+        let (_, grads) = e2
+            .grad(
+                &[("x", LValue::scalar(2.0))],
+                &[("w", Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap())],
+            )
+            .unwrap();
+        assert_eq!(grads[0].as_f32().unwrap(), &[0.0, 0.0]);
+        let _ = e;
+    }
+
+    #[test]
+    fn bool_ops() {
+        let e = engine("(program (if (and (lt 1 2) (not (gt 1 2))) 10 20))");
+        assert_eq!(
+            e.run(&[], &[])
+                .unwrap()
+                .as_tensor()
+                .unwrap()
+                .scalar_value_f32()
+                .unwrap(),
+            10.0
+        );
+    }
+
+    #[test]
+    fn deep_recursion_ok() {
+        let e = engine(
+            "(program (def f (n acc) (if (le n 0) acc (call f (sub n 1) (add acc 1)))) (call f (extern n) 0))",
+        );
+        // run on a dedicated thread with a large stack: recursion depth is
+        // bounded by stack size, not by the IR (unlike TF graphs, which
+        // cannot express this at all)
+        let handle = std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(move || {
+                let out = e.run(&[("n", Tensor::scalar_f32(3000.0))], &[]).unwrap();
+                out.as_tensor().unwrap().scalar_value_f32().unwrap()
+            })
+            .unwrap();
+        assert_eq!(handle.join().unwrap(), 3000.0);
+    }
+}

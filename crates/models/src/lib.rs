@@ -1,0 +1,27 @@
+//! # autograph-models
+//!
+//! The models and workloads of the paper's evaluation (§9, Appendix D),
+//! each in the configurations the paper compares:
+//!
+//! | module | experiment |
+//! |---|---|
+//! | [`rnn`] | Table 1 — RNN cell throughput: Eager / Official / Handwritten / AutoGraph |
+//! | [`mnist`] | Table 2 — linear model + SGD: Eager / graph-model+host-loop / all-in-graph / AutoGraph |
+//! | [`treelstm`] | Table 3 — recursive TreeLSTM: eager ("PyTorch") vs AutoGraph→Lantern |
+//! | [`beam`] | Appendix D.1 — beam search with data-dependent `break` |
+//! | [`lbfgs`] | Appendix D.2 — L-BFGS with unrolled two-loop recursion |
+//! | [`maml`] | Appendix D.3 — MAML sinusoid meta-learning |
+//! | [`seq2seq`] | Appendix D.4 — encoder/decoder with optional teacher forcing |
+//!
+//! Each module exposes PyLite source (the paper's imperative style), plus
+//! builders/drivers for every configuration, so the bench harness and the
+//! examples share one implementation.
+
+pub mod beam;
+pub mod data;
+pub mod lbfgs;
+pub mod maml;
+pub mod mnist;
+pub mod rnn;
+pub mod seq2seq;
+pub mod treelstm;

@@ -1,0 +1,491 @@
+//! Serialize an AST back to PyLite source — the paper's
+//! `compiler.ast_to_source` (Appendix C) and step 4 of the conversion
+//! pipeline (§6).
+//!
+//! The emitted source re-parses to a structurally identical AST (spans
+//! aside), a property checked by round-trip and property tests.
+
+use crate::ast::*;
+
+/// Render a module as source text.
+pub fn ast_to_source(module: &Module) -> String {
+    let mut out = String::new();
+    for stmt in &module.body {
+        emit_stmt(&mut out, stmt, 0);
+    }
+    out
+}
+
+/// Render a single statement (and its nested blocks) as source text.
+pub fn stmt_to_source(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    emit_stmt(&mut out, stmt, 0);
+    out
+}
+
+/// Render an expression as source text.
+pub fn expr_to_source(expr: &Expr) -> String {
+    let mut out = String::new();
+    emit_expr(&mut out, expr, 0);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn emit_block(out: &mut String, body: &[Stmt], level: usize) {
+    if body.is_empty() {
+        indent(out, level);
+        out.push_str("pass\n");
+        return;
+    }
+    for s in body {
+        emit_stmt(out, s, level);
+    }
+}
+
+fn emit_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    match &stmt.kind {
+        StmtKind::FunctionDef {
+            name,
+            params,
+            body,
+            decorators,
+        } => {
+            for d in decorators {
+                indent(out, level);
+                out.push('@');
+                emit_expr(out, d, 0);
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push_str("def ");
+            out.push_str(name);
+            out.push('(');
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&p.name);
+                if let Some(d) = &p.default {
+                    out.push('=');
+                    emit_expr(out, d, 0);
+                }
+            }
+            out.push_str("):\n");
+            emit_block(out, body, level + 1);
+        }
+        StmtKind::Return(v) => {
+            indent(out, level);
+            out.push_str("return");
+            if let Some(v) = v {
+                out.push(' ');
+                emit_expr(out, v, 0);
+            }
+            out.push('\n');
+        }
+        StmtKind::Assign { target, value } => {
+            indent(out, level);
+            emit_expr(out, target, 0);
+            out.push_str(" = ");
+            emit_expr(out, value, 0);
+            out.push('\n');
+        }
+        StmtKind::AugAssign { target, op, value } => {
+            indent(out, level);
+            emit_expr(out, target, 0);
+            out.push(' ');
+            out.push_str(op.as_str());
+            out.push_str("= ");
+            emit_expr(out, value, 0);
+            out.push('\n');
+        }
+        StmtKind::If { test, body, orelse } => {
+            indent(out, level);
+            out.push_str("if ");
+            emit_expr(out, test, 0);
+            out.push_str(":\n");
+            emit_block(out, body, level + 1);
+            if !orelse.is_empty() {
+                indent(out, level);
+                out.push_str("else:\n");
+                emit_block(out, orelse, level + 1);
+            }
+        }
+        StmtKind::While { test, body } => {
+            indent(out, level);
+            out.push_str("while ");
+            emit_expr(out, test, 0);
+            out.push_str(":\n");
+            emit_block(out, body, level + 1);
+        }
+        StmtKind::For { target, iter, body } => {
+            indent(out, level);
+            out.push_str("for ");
+            emit_expr(out, target, 0);
+            out.push_str(" in ");
+            emit_expr(out, iter, 0);
+            out.push_str(":\n");
+            emit_block(out, body, level + 1);
+        }
+        StmtKind::Break => {
+            indent(out, level);
+            out.push_str("break\n");
+        }
+        StmtKind::Continue => {
+            indent(out, level);
+            out.push_str("continue\n");
+        }
+        StmtKind::Pass => {
+            indent(out, level);
+            out.push_str("pass\n");
+        }
+        StmtKind::Assert { test, msg } => {
+            indent(out, level);
+            out.push_str("assert ");
+            emit_expr(out, test, 0);
+            if let Some(m) = msg {
+                out.push_str(", ");
+                emit_expr(out, m, 0);
+            }
+            out.push('\n');
+        }
+        StmtKind::ExprStmt(e) => {
+            indent(out, level);
+            emit_expr(out, e, 0);
+            out.push('\n');
+        }
+        StmtKind::Global(names) => {
+            indent(out, level);
+            out.push_str("global ");
+            out.push_str(&names.join(", "));
+            out.push('\n');
+        }
+        StmtKind::Nonlocal(names) => {
+            indent(out, level);
+            out.push_str("nonlocal ");
+            out.push_str(&names.join(", "));
+            out.push('\n');
+        }
+        StmtKind::Del(names) => {
+            indent(out, level);
+            out.push_str("del ");
+            out.push_str(&names.join(", "));
+            out.push('\n');
+        }
+        StmtKind::Raise(v) => {
+            indent(out, level);
+            out.push_str("raise");
+            if let Some(v) = v {
+                out.push(' ');
+                emit_expr(out, v, 0);
+            }
+            out.push('\n');
+        }
+    }
+}
+
+/// Operator precedence levels for minimal parenthesization.
+/// Higher binds tighter.
+fn precedence(e: &ExprKind) -> u8 {
+    match e {
+        ExprKind::Lambda { .. } => 1,
+        ExprKind::IfExp { .. } => 2,
+        ExprKind::BoolOp {
+            op: BoolOpKind::Or, ..
+        } => 3,
+        ExprKind::BoolOp {
+            op: BoolOpKind::And,
+            ..
+        } => 4,
+        ExprKind::UnaryOp {
+            op: UnaryOp::Not, ..
+        } => 5,
+        ExprKind::Compare { .. } => 6,
+        ExprKind::BinOp {
+            op: BinOp::Add | BinOp::Sub,
+            ..
+        } => 7,
+        ExprKind::BinOp {
+            op: BinOp::Mul | BinOp::Div | BinOp::FloorDiv | BinOp::Mod,
+            ..
+        } => 8,
+        ExprKind::UnaryOp { .. } => 9,
+        ExprKind::BinOp { op: BinOp::Pow, .. } => 10,
+        _ => 11,
+    }
+}
+
+fn emit_expr(out: &mut String, expr: &Expr, min_prec: u8) {
+    let prec = precedence(&expr.kind);
+    let needs_paren = prec < min_prec;
+    if needs_paren {
+        out.push('(');
+    }
+    match &expr.kind {
+        ExprKind::Name(n) => out.push_str(n),
+        ExprKind::Int(v) => out.push_str(&v.to_string()),
+        ExprKind::Float(v) => {
+            let s = format!("{v}");
+            out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+                out.push_str(".0");
+            }
+        }
+        ExprKind::Str(s) => {
+            out.push('\'');
+            for c in s.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\'' => out.push_str("\\'"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('\'');
+        }
+        ExprKind::Bool(true) => out.push_str("True"),
+        ExprKind::Bool(false) => out.push_str("False"),
+        ExprKind::NoneLit => out.push_str("None"),
+        ExprKind::Attribute { value, attr } => {
+            emit_expr(out, value, 11);
+            out.push('.');
+            out.push_str(attr);
+        }
+        ExprKind::Subscript { value, index } => {
+            emit_expr(out, value, 11);
+            out.push('[');
+            match &**index {
+                Index::Single(e) => emit_expr(out, e, 0),
+                Index::Slice { lower, upper } => {
+                    if let Some(l) = lower {
+                        emit_expr(out, l, 0);
+                    }
+                    out.push(':');
+                    if let Some(u) = upper {
+                        emit_expr(out, u, 0);
+                    }
+                }
+            }
+            out.push(']');
+        }
+        ExprKind::Call { func, args, kwargs } => {
+            emit_expr(out, func, 11);
+            out.push('(');
+            let mut first = true;
+            for a in args {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                emit_expr(out, a, 1);
+            }
+            for (k, v) in kwargs {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(k);
+                out.push('=');
+                emit_expr(out, v, 1);
+            }
+            out.push(')');
+        }
+        ExprKind::BinOp { op, left, right } => {
+            let right_assoc = matches!(op, BinOp::Pow);
+            emit_expr(out, left, if right_assoc { prec + 1 } else { prec });
+            out.push(' ');
+            out.push_str(op.as_str());
+            out.push(' ');
+            emit_expr(out, right, if right_assoc { prec } else { prec + 1 });
+        }
+        ExprKind::UnaryOp { op, operand } => {
+            match op {
+                UnaryOp::Neg => out.push('-'),
+                UnaryOp::Pos => out.push('+'),
+                UnaryOp::Not => out.push_str("not "),
+            }
+            emit_expr(out, operand, prec);
+        }
+        ExprKind::BoolOp { op, values } => {
+            let text = match op {
+                BoolOpKind::And => " and ",
+                BoolOpKind::Or => " or ",
+            };
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(text);
+                }
+                emit_expr(out, v, prec + 1);
+            }
+        }
+        ExprKind::Compare {
+            left,
+            ops,
+            comparators,
+        } => {
+            emit_expr(out, left, prec + 1);
+            for (op, c) in ops.iter().zip(comparators) {
+                out.push(' ');
+                out.push_str(op.as_str());
+                out.push(' ');
+                emit_expr(out, c, prec + 1);
+            }
+        }
+        ExprKind::IfExp { test, body, orelse } => {
+            emit_expr(out, body, prec + 1);
+            out.push_str(" if ");
+            emit_expr(out, test, prec + 1);
+            out.push_str(" else ");
+            emit_expr(out, orelse, prec);
+        }
+        ExprKind::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_expr(out, item, 1);
+            }
+            out.push(']');
+        }
+        ExprKind::Tuple(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_expr(out, item, 1);
+            }
+            if items.len() == 1 {
+                out.push(',');
+            }
+            out.push(')');
+        }
+        ExprKind::Lambda { params, body } => {
+            out.push_str("lambda");
+            for (i, p) in params.iter().enumerate() {
+                out.push_str(if i == 0 { " " } else { ", " });
+                out.push_str(&p.name);
+                if let Some(d) = &p.default {
+                    out.push('=');
+                    emit_expr(out, d, 0);
+                }
+            }
+            out.push_str(": ");
+            emit_expr(out, body, prec);
+        }
+    }
+    if needs_paren {
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    /// Strip spans so structural equality ignores locations.
+    fn reparse(src: &str) -> Module {
+        parse_module(src).unwrap()
+    }
+
+    fn round_trip(src: &str) {
+        let m1 = reparse(src);
+        let out = ast_to_source(&m1);
+        let m2 = parse_module(&out)
+            .unwrap_or_else(|e| panic!("generated source failed to parse: {e}\n---\n{out}"));
+        let out2 = ast_to_source(&m2);
+        assert_eq!(out, out2, "codegen not a fixpoint for:\n{src}");
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        round_trip("x = 1 + 2 * 3\n");
+        round_trip("y = (1 + 2) * 3\n");
+        round_trip("z = -x ** 2\n");
+        round_trip("w = 2 ** -3 ** 4\n");
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        round_trip("def f(x):\n    if x > 0:\n        x = x * x\n    else:\n        x = -x\n    return x\n");
+        round_trip("while a and b:\n    if c:\n        break\n    continue\n");
+        round_trip("for i in range(10):\n    total += i\n");
+    }
+
+    #[test]
+    fn round_trip_calls_slices() {
+        round_trip("y = f(a, b, k=1)[2][i:j].attr\n");
+        round_trip("outputs.append(tf.matmul(x, w) + b)\n");
+        round_trip("l = [1, 2, [3, 4]]\n");
+        round_trip("t = (1,)\n");
+    }
+
+    #[test]
+    fn round_trip_lambda_ternary() {
+        round_trip("f = lambda x, y=2: x + y\n");
+        round_trip("v = a if p and q else b\n");
+    }
+
+    #[test]
+    fn round_trip_strings() {
+        round_trip("s = 'he said \\'hi\\'\\n'\n");
+    }
+
+    #[test]
+    fn round_trip_float_formatting() {
+        round_trip("x = 3.0\ny = 0.5\nz = 1e20\n");
+        let m = reparse("x = 3.0\n");
+        assert!(ast_to_source(&m).contains("3.0"));
+    }
+
+    #[test]
+    fn precedence_parens_preserved_semantically() {
+        // (a + b) * c must keep parens
+        let m = reparse("r = (a + b) * c\n");
+        assert!(ast_to_source(&m).contains("(a + b) * c"));
+        // a + b * c must not gain parens
+        let m = reparse("r = a + b * c\n");
+        assert_eq!(ast_to_source(&m), "r = a + b * c\n");
+    }
+
+    #[test]
+    fn not_and_or_parens() {
+        round_trip("x = not (a or b)\n");
+        round_trip("x = not a or b\n");
+        let m1 = reparse("x = not (a or b)\n");
+        let m2 = reparse("x = not a or b\n");
+        assert_ne!(ast_to_source(&m1), ast_to_source(&m2));
+    }
+
+    #[test]
+    fn decorators_and_defaults() {
+        round_trip("@ag.convert()\ndef f(x, eps=0.001):\n    return x\n");
+    }
+
+    #[test]
+    fn empty_body_emits_pass() {
+        let m = Module {
+            body: vec![Stmt::synthetic(StmtKind::While {
+                test: Expr::name("x"),
+                body: vec![],
+            })],
+        };
+        assert_eq!(ast_to_source(&m), "while x:\n    pass\n");
+    }
+
+    #[test]
+    fn stmt_and_expr_helpers() {
+        let m = reparse("x = f(1)\n");
+        assert_eq!(stmt_to_source(&m.body[0]), "x = f(1)\n");
+        if let StmtKind::Assign { value, .. } = &m.body[0].kind {
+            assert_eq!(expr_to_source(value), "f(1)");
+        }
+    }
+}

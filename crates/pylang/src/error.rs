@@ -1,0 +1,42 @@
+//! Lexer/parser error type.
+
+use crate::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing PyLite source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Construct a new error at a location.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ParseError::new("unexpected token", Span::new(4, 2));
+        assert_eq!(e.to_string(), "parse error at 4:2: unexpected token");
+    }
+}

@@ -1,0 +1,58 @@
+//! # autograph-pylang
+//!
+//! The "PyLite" frontend: a Python-subset language that plays the role of
+//! Python in this AutoGraph reproduction. It provides everything step 1–2
+//! and 4–5 of the paper's conversion pipeline (§6) need:
+//!
+//! * an indentation-aware [`lexer`] and recursive-descent [`parser`]
+//!   producing a spanned [`ast`];
+//! * a structural [`printer`] (the paper's `pretty_printer.fmt`,
+//!   Appendix C);
+//! * a source [`codegen`] (`compiler.ast_to_source`);
+//! * AST [`templates`] for quoted-code rewriting (`templates.replace`).
+//!
+//! ## Example
+//!
+//! ```
+//! use autograph_pylang::{parse_module, codegen::ast_to_source};
+//!
+//! let module = parse_module("def f(x):\n    return x + 1\n")?;
+//! let src = ast_to_source(&module);
+//! assert!(src.contains("return x + 1"));
+//! # Ok::<(), autograph_pylang::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod templates;
+pub mod token;
+
+pub use ast::{Expr, ExprKind, Module, Param, Stmt, StmtKind};
+pub use error::ParseError;
+pub use span::Span;
+
+/// Parse a complete PyLite module from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the offending line/column on lexical or
+/// syntactic errors.
+pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    parser::Parser::new(source)?.parse_module()
+}
+
+/// Parse a string of code, like the paper's `parser.parse_str` utility.
+///
+/// Alias of [`parse_module`]; the string may contain any valid PyLite code.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical or syntactic errors.
+pub fn parse_str(source: &str) -> Result<Module, ParseError> {
+    parse_module(source)
+}

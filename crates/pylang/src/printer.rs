@@ -1,0 +1,311 @@
+//! Structural AST pretty printer — the paper's `pretty_printer.fmt`
+//! utility (Appendix C). Produces an indented tree dump that makes small
+//! AST manipulations easy to debug.
+
+use crate::ast::*;
+
+/// Render the structural tree of a module, in the style of Appendix C:
+///
+/// ```text
+/// Module:
+/// | body=[
+/// | | Assign:
+/// | | | target=Name: id="a"
+/// ...
+/// ```
+pub fn fmt(module: &Module) -> String {
+    let mut p = Printer::default();
+    p.line(0, "Module:");
+    p.open_list(1, "body");
+    for s in &module.body {
+        p.stmt(2, s);
+    }
+    p.close_list(1);
+    p.out
+}
+
+/// Render a single statement subtree.
+pub fn fmt_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::default();
+    p.stmt(0, stmt);
+    p.out
+}
+
+/// Render a single expression subtree.
+pub fn fmt_expr(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(0, expr);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+}
+
+impl Printer {
+    fn line(&mut self, depth: usize, text: &str) {
+        for _ in 0..depth {
+            self.out.push_str("| ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn open_list(&mut self, depth: usize, name: &str) {
+        self.line(depth, &format!("{name}=["));
+    }
+
+    fn close_list(&mut self, depth: usize) {
+        self.line(depth, "]");
+    }
+
+    fn block(&mut self, depth: usize, name: &str, body: &[Stmt]) {
+        self.open_list(depth, name);
+        for s in body {
+            self.stmt(depth + 1, s);
+        }
+        self.close_list(depth);
+    }
+
+    fn stmt(&mut self, depth: usize, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::FunctionDef {
+                name,
+                params,
+                body,
+                decorators,
+            } => {
+                self.line(depth, &format!("FunctionDef: name={name:?}"));
+                if !decorators.is_empty() {
+                    self.open_list(depth + 1, "decorators");
+                    for d in decorators {
+                        self.expr(depth + 2, d);
+                    }
+                    self.close_list(depth + 1);
+                }
+                let names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+                self.line(depth + 1, &format!("params={names:?}"));
+                self.block(depth + 1, "body", body);
+            }
+            StmtKind::Return(v) => {
+                self.line(depth, "Return:");
+                if let Some(v) = v {
+                    self.expr(depth + 1, v);
+                }
+            }
+            StmtKind::Assign { target, value } => {
+                self.line(depth, "Assign:");
+                self.line(depth + 1, "target=");
+                self.expr(depth + 2, target);
+                self.line(depth + 1, "value=");
+                self.expr(depth + 2, value);
+            }
+            StmtKind::AugAssign { target, op, value } => {
+                self.line(depth, &format!("AugAssign: op={:?}", op));
+                self.expr(depth + 1, target);
+                self.expr(depth + 1, value);
+            }
+            StmtKind::If { test, body, orelse } => {
+                self.line(depth, "If:");
+                self.line(depth + 1, "test=");
+                self.expr(depth + 2, test);
+                self.block(depth + 1, "body", body);
+                if !orelse.is_empty() {
+                    self.block(depth + 1, "orelse", orelse);
+                }
+            }
+            StmtKind::While { test, body } => {
+                self.line(depth, "While:");
+                self.expr(depth + 1, test);
+                self.block(depth + 1, "body", body);
+            }
+            StmtKind::For { target, iter, body } => {
+                self.line(depth, "For:");
+                self.expr(depth + 1, target);
+                self.expr(depth + 1, iter);
+                self.block(depth + 1, "body", body);
+            }
+            StmtKind::Break => self.line(depth, "Break"),
+            StmtKind::Continue => self.line(depth, "Continue"),
+            StmtKind::Pass => self.line(depth, "Pass"),
+            StmtKind::Assert { test, .. } => {
+                self.line(depth, "Assert:");
+                self.expr(depth + 1, test);
+            }
+            StmtKind::ExprStmt(e) => {
+                self.line(depth, "ExprStmt:");
+                self.expr(depth + 1, e);
+            }
+            StmtKind::Global(names) => self.line(depth, &format!("Global: {names:?}")),
+            StmtKind::Nonlocal(names) => self.line(depth, &format!("Nonlocal: {names:?}")),
+            StmtKind::Del(names) => self.line(depth, &format!("Del: {names:?}")),
+            StmtKind::Raise(v) => {
+                self.line(depth, "Raise:");
+                if let Some(v) = v {
+                    self.expr(depth + 1, v);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, depth: usize, expr: &Expr) {
+        match &expr.kind {
+            ExprKind::Name(n) => self.line(depth, &format!("Name: id={n:?}")),
+            ExprKind::Int(v) => self.line(depth, &format!("Int: {v}")),
+            ExprKind::Float(v) => self.line(depth, &format!("Float: {v}")),
+            ExprKind::Str(s) => self.line(depth, &format!("Str: {s:?}")),
+            ExprKind::Bool(b) => self.line(depth, &format!("Bool: {b}")),
+            ExprKind::NoneLit => self.line(depth, "None"),
+            ExprKind::Attribute { value, attr } => {
+                self.line(depth, &format!("Attribute: attr={attr:?}"));
+                self.expr(depth + 1, value);
+            }
+            ExprKind::Subscript { value, index } => {
+                self.line(depth, "Subscript:");
+                self.expr(depth + 1, value);
+                match &**index {
+                    Index::Single(e) => self.expr(depth + 1, e),
+                    Index::Slice { lower, upper } => {
+                        self.line(depth + 1, "Slice:");
+                        if let Some(l) = lower {
+                            self.expr(depth + 2, l);
+                        }
+                        if let Some(u) = upper {
+                            self.expr(depth + 2, u);
+                        }
+                    }
+                }
+            }
+            ExprKind::Call { func, args, kwargs } => {
+                self.line(depth, "Call:");
+                self.expr(depth + 1, func);
+                if !args.is_empty() {
+                    self.open_list(depth + 1, "args");
+                    for a in args {
+                        self.expr(depth + 2, a);
+                    }
+                    self.close_list(depth + 1);
+                }
+                for (k, v) in kwargs {
+                    self.line(depth + 1, &format!("kwarg {k}="));
+                    self.expr(depth + 2, v);
+                }
+            }
+            ExprKind::BinOp { op, left, right } => {
+                self.line(depth, &format!("BinOp: op={:?}", op));
+                self.expr(depth + 1, left);
+                self.expr(depth + 1, right);
+            }
+            ExprKind::UnaryOp { op, operand } => {
+                self.line(depth, &format!("UnaryOp: op={:?}", op));
+                self.expr(depth + 1, operand);
+            }
+            ExprKind::BoolOp { op, values } => {
+                self.line(depth, &format!("BoolOp: op={:?}", op));
+                for v in values {
+                    self.expr(depth + 1, v);
+                }
+            }
+            ExprKind::Compare {
+                left,
+                ops,
+                comparators,
+            } => {
+                self.line(depth, &format!("Compare: ops={ops:?}"));
+                self.expr(depth + 1, left);
+                for c in comparators {
+                    self.expr(depth + 1, c);
+                }
+            }
+            ExprKind::IfExp { test, body, orelse } => {
+                self.line(depth, "IfExp:");
+                self.expr(depth + 1, test);
+                self.expr(depth + 1, body);
+                self.expr(depth + 1, orelse);
+            }
+            ExprKind::List(items) => {
+                self.line(depth, "List:");
+                for i in items {
+                    self.expr(depth + 1, i);
+                }
+            }
+            ExprKind::Tuple(items) => {
+                self.line(depth, "Tuple:");
+                for i in items {
+                    self.expr(depth + 1, i);
+                }
+            }
+            ExprKind::Lambda { params, body } => {
+                let names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+                self.line(depth, &format!("Lambda: params={names:?}"));
+                self.expr(depth + 1, body);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    #[test]
+    fn fmt_assignment_like_appendix_c() {
+        let m = parse_module("a = b\n").unwrap();
+        let s = fmt(&m);
+        assert!(s.starts_with("Module:\n"));
+        assert!(s.contains("Assign:"));
+        assert!(s.contains("Name: id=\"a\""));
+        assert!(s.contains("Name: id=\"b\""));
+    }
+
+    #[test]
+    fn fmt_depth_markers() {
+        let m = parse_module("if x:\n    y = f(1, k=2)\n").unwrap();
+        let s = fmt(&m);
+        assert!(s.contains("| | If:"));
+        assert!(s.contains("kwarg k="));
+    }
+
+    #[test]
+    fn fmt_every_node_kind_smoke() {
+        let src = "\
+@dec\ndef f(a, b=1):\n    l = [1, (2, 3)]\n    l[0] = l[1:2]\n    x = -a ** 2 if a and b else not b\n    x += 1\n    s = 'str'\n    del x\n    assert a < b <= 3, 'msg'\n    for i in range(3):\n        if i == 1:\n            continue\n        break\n    while False:\n        pass\n    g = lambda v: v\n    raise e\n    return None\n";
+        let m = parse_module(src).unwrap();
+        let s = fmt(&m);
+        for needle in [
+            "FunctionDef",
+            "List:",
+            "Tuple:",
+            "Subscript:",
+            "Slice:",
+            "IfExp:",
+            "AugAssign",
+            "Str:",
+            "Del:",
+            "Assert:",
+            "For:",
+            "Continue",
+            "Break",
+            "While:",
+            "Lambda",
+            "Raise:",
+            "Return:",
+            "UnaryOp",
+            "Compare",
+            "BoolOp",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn fmt_stmt_and_expr() {
+        let m = parse_module("x = 1\n").unwrap();
+        assert!(fmt_stmt(&m.body[0]).contains("Assign:"));
+        if let crate::StmtKind::Assign { value, .. } = &m.body[0].kind {
+            assert_eq!(fmt_expr(value), "Int: 1\n");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Source locations, used by the source-map machinery of Appendix B.
+
+use std::fmt;
+
+/// A half-open region of the original source, identified by 1-based line
+/// and column of its first token.
+///
+/// AutoGraph keeps every AST node (even after several SCT passes) associated
+/// with an original line of user code; [`Span`] is that association.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span pointing at a specific line/column.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// The span used for synthesized (generated) nodes that have no origin
+    /// in user code.
+    pub fn synthetic() -> Span {
+        Span { line: 0, col: 0 }
+    }
+
+    /// True if this span refers to generated (non-user) code.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::synthetic()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<generated>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+        assert_eq!(Span::synthetic().to_string(), "<generated>");
+    }
+
+    #[test]
+    fn synthetic_flag() {
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::new(1, 1).is_synthetic());
+        assert!(Span::default().is_synthetic());
+    }
+}

@@ -1,0 +1,437 @@
+//! Templated code rewriting — the paper's `templates.replace` utility
+//! (Appendix C). Conversion passes build new code by parsing a quoted
+//! template and splicing names, expressions or statement lists into
+//! placeholder positions.
+//!
+//! ```
+//! use autograph_pylang::templates::{replace, Replacement};
+//! use autograph_pylang::{parse_str, codegen::ast_to_source, Module};
+//!
+//! let body = parse_str("a = x\nreturn a\n")?.body;
+//! let stmts = replace(
+//!     "def fn(args):\n    body\n",
+//!     &[
+//!         ("fn", Replacement::Name("my_function".into())),
+//!         ("args", Replacement::NameList(vec!["x".into()])),
+//!         ("body", Replacement::Stmts(body)),
+//!     ],
+//! )?;
+//! let src = ast_to_source(&Module { body: stmts });
+//! assert!(src.starts_with("def my_function(x):"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::ast::*;
+use crate::codegen;
+use crate::error::ParseError;
+use crate::parse_module;
+use crate::Span;
+use std::collections::HashMap;
+
+/// What to splice into a template placeholder.
+#[derive(Debug, Clone)]
+pub enum Replacement {
+    /// Rename an identifier (valid in name, parameter and attribute
+    /// positions).
+    Name(String),
+    /// Substitute an arbitrary expression for a placeholder name.
+    Expr(Expr),
+    /// Substitute a list of statements for a placeholder expression
+    /// statement.
+    Stmts(Vec<Stmt>),
+    /// Expand a placeholder parameter (or name) into several names.
+    NameList(Vec<String>),
+}
+
+/// Parse `template` and substitute placeholders, returning the resulting
+/// statements.
+///
+/// Placeholders are ordinary identifiers; each occurrence is replaced
+/// according to its [`Replacement`]. Like the paper's implementation, the
+/// function performs integrity checks: replacement names must be valid
+/// identifiers and the result must serialize back to parseable source.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the template does not parse, a replacement
+/// name is not a valid identifier, or the spliced result fails the
+/// round-trip integrity check.
+pub fn replace(
+    template: &str,
+    replacements: &[(&str, Replacement)],
+) -> Result<Vec<Stmt>, ParseError> {
+    for (key, r) in replacements {
+        if !is_identifier(key) {
+            return Err(ParseError::new(
+                format!("template key '{key}' is not a valid identifier"),
+                Span::synthetic(),
+            ));
+        }
+        match r {
+            Replacement::Name(n) if !is_identifier(n) => {
+                return Err(ParseError::new(
+                    format!("replacement name '{n}' is not a valid identifier"),
+                    Span::synthetic(),
+                ));
+            }
+            Replacement::NameList(ns) => {
+                for n in ns {
+                    if !is_identifier(n) {
+                        return Err(ParseError::new(
+                            format!("replacement name '{n}' is not a valid identifier"),
+                            Span::synthetic(),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let module = parse_module(template)?;
+    let map: HashMap<&str, &Replacement> = replacements.iter().map(|(k, v)| (*k, v)).collect();
+    let body = subst_block(module.body, &map)?;
+    // Integrity check: generated code must re-parse.
+    let rendered = codegen::ast_to_source(&Module { body: body.clone() });
+    parse_module(&rendered).map_err(|e| {
+        ParseError::new(
+            format!("template splice produced unparseable code: {e}\n{rendered}"),
+            Span::synthetic(),
+        )
+    })?;
+    Ok(body)
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || c == '_')
+}
+
+fn subst_block(
+    body: Vec<Stmt>,
+    map: &HashMap<&str, &Replacement>,
+) -> Result<Vec<Stmt>, ParseError> {
+    let mut out = Vec::with_capacity(body.len());
+    for stmt in body {
+        // A bare placeholder expression statement may expand to many stmts.
+        if let StmtKind::ExprStmt(Expr {
+            kind: ExprKind::Name(n),
+            ..
+        }) = &stmt.kind
+        {
+            if let Some(Replacement::Stmts(stmts)) = map.get(n.as_str()) {
+                out.extend(stmts.iter().cloned());
+                continue;
+            }
+        }
+        out.push(subst_stmt(stmt, map)?);
+    }
+    Ok(out)
+}
+
+fn subst_stmt(stmt: Stmt, map: &HashMap<&str, &Replacement>) -> Result<Stmt, ParseError> {
+    let span = stmt.span;
+    let kind = match stmt.kind {
+        StmtKind::FunctionDef {
+            name,
+            params,
+            body,
+            decorators,
+        } => {
+            let name = match map.get(name.as_str()) {
+                Some(Replacement::Name(n)) => n.clone(),
+                _ => name,
+            };
+            let mut new_params = Vec::new();
+            for p in params {
+                match map.get(p.name.as_str()) {
+                    Some(Replacement::Name(n)) => new_params.push(Param {
+                        name: n.clone(),
+                        default: p.default,
+                    }),
+                    Some(Replacement::NameList(ns)) => {
+                        for n in ns {
+                            new_params.push(Param {
+                                name: n.clone(),
+                                default: None,
+                            });
+                        }
+                    }
+                    _ => new_params.push(p),
+                }
+            }
+            StmtKind::FunctionDef {
+                name,
+                params: new_params,
+                body: subst_block(body, map)?,
+                decorators: decorators
+                    .into_iter()
+                    .map(|d| subst_expr(d, map))
+                    .collect::<Result<_, _>>()?,
+            }
+        }
+        StmtKind::Return(v) => StmtKind::Return(v.map(|v| subst_expr(v, map)).transpose()?),
+        StmtKind::Assign { target, value } => StmtKind::Assign {
+            target: subst_expr(target, map)?,
+            value: subst_expr(value, map)?,
+        },
+        StmtKind::AugAssign { target, op, value } => StmtKind::AugAssign {
+            target: subst_expr(target, map)?,
+            op,
+            value: subst_expr(value, map)?,
+        },
+        StmtKind::If { test, body, orelse } => StmtKind::If {
+            test: subst_expr(test, map)?,
+            body: subst_block(body, map)?,
+            orelse: subst_block(orelse, map)?,
+        },
+        StmtKind::While { test, body } => StmtKind::While {
+            test: subst_expr(test, map)?,
+            body: subst_block(body, map)?,
+        },
+        StmtKind::For { target, iter, body } => StmtKind::For {
+            target: subst_expr(target, map)?,
+            iter: subst_expr(iter, map)?,
+            body: subst_block(body, map)?,
+        },
+        StmtKind::Assert { test, msg } => StmtKind::Assert {
+            test: subst_expr(test, map)?,
+            msg: msg.map(|m| subst_expr(m, map)).transpose()?,
+        },
+        StmtKind::ExprStmt(e) => StmtKind::ExprStmt(subst_expr(e, map)?),
+        StmtKind::Raise(v) => StmtKind::Raise(v.map(|v| subst_expr(v, map)).transpose()?),
+        other @ (StmtKind::Break
+        | StmtKind::Continue
+        | StmtKind::Pass
+        | StmtKind::Global(_)
+        | StmtKind::Nonlocal(_)
+        | StmtKind::Del(_)) => other,
+    };
+    Ok(Stmt::new(kind, span))
+}
+
+fn subst_expr(expr: Expr, map: &HashMap<&str, &Replacement>) -> Result<Expr, ParseError> {
+    let span = expr.span;
+    let kind = match expr.kind {
+        ExprKind::Name(n) => match map.get(n.as_str()) {
+            Some(Replacement::Name(new)) => ExprKind::Name(new.clone()),
+            Some(Replacement::Expr(e)) => e.kind.clone(),
+            Some(Replacement::NameList(ns)) => ExprKind::Tuple(
+                ns.iter()
+                    .map(|n| Expr::new(ExprKind::Name(n.clone()), span))
+                    .collect(),
+            ),
+            Some(Replacement::Stmts(_)) => {
+                return Err(ParseError::new(
+                    format!(
+                        "placeholder '{n}' used in expression position but bound to statements"
+                    ),
+                    span,
+                ));
+            }
+            None => ExprKind::Name(n),
+        },
+        ExprKind::Attribute { value, attr } => {
+            let attr = match map.get(attr.as_str()) {
+                Some(Replacement::Name(n)) => n.clone(),
+                _ => attr,
+            };
+            ExprKind::Attribute {
+                value: Box::new(subst_expr(*value, map)?),
+                attr,
+            }
+        }
+        ExprKind::Subscript { value, index } => ExprKind::Subscript {
+            value: Box::new(subst_expr(*value, map)?),
+            index: Box::new(match *index {
+                Index::Single(e) => Index::Single(subst_expr(e, map)?),
+                Index::Slice { lower, upper } => Index::Slice {
+                    lower: lower.map(|e| subst_expr(e, map)).transpose()?,
+                    upper: upper.map(|e| subst_expr(e, map)).transpose()?,
+                },
+            }),
+        },
+        ExprKind::Call { func, args, kwargs } => ExprKind::Call {
+            func: Box::new(subst_expr(*func, map)?),
+            args: {
+                // A NameList placeholder in argument position splices in
+                // several arguments rather than a tuple.
+                let mut new_args = Vec::new();
+                for a in args {
+                    if let ExprKind::Name(n) = &a.kind {
+                        if let Some(Replacement::NameList(ns)) = map.get(n.as_str()) {
+                            for n in ns {
+                                new_args.push(Expr::new(ExprKind::Name(n.clone()), a.span));
+                            }
+                            continue;
+                        }
+                    }
+                    new_args.push(subst_expr(a, map)?);
+                }
+                new_args
+            },
+            kwargs: kwargs
+                .into_iter()
+                .map(|(k, v)| Ok((k, subst_expr(v, map)?)))
+                .collect::<Result<_, ParseError>>()?,
+        },
+        ExprKind::BinOp { op, left, right } => ExprKind::BinOp {
+            op,
+            left: Box::new(subst_expr(*left, map)?),
+            right: Box::new(subst_expr(*right, map)?),
+        },
+        ExprKind::UnaryOp { op, operand } => ExprKind::UnaryOp {
+            op,
+            operand: Box::new(subst_expr(*operand, map)?),
+        },
+        ExprKind::BoolOp { op, values } => ExprKind::BoolOp {
+            op,
+            values: values
+                .into_iter()
+                .map(|v| subst_expr(v, map))
+                .collect::<Result<_, _>>()?,
+        },
+        ExprKind::Compare {
+            left,
+            ops,
+            comparators,
+        } => ExprKind::Compare {
+            left: Box::new(subst_expr(*left, map)?),
+            ops,
+            comparators: comparators
+                .into_iter()
+                .map(|c| subst_expr(c, map))
+                .collect::<Result<_, _>>()?,
+        },
+        ExprKind::IfExp { test, body, orelse } => ExprKind::IfExp {
+            test: Box::new(subst_expr(*test, map)?),
+            body: Box::new(subst_expr(*body, map)?),
+            orelse: Box::new(subst_expr(*orelse, map)?),
+        },
+        ExprKind::List(items) => ExprKind::List(
+            items
+                .into_iter()
+                .map(|i| subst_expr(i, map))
+                .collect::<Result<_, _>>()?,
+        ),
+        ExprKind::Tuple(items) => ExprKind::Tuple(
+            items
+                .into_iter()
+                .map(|i| subst_expr(i, map))
+                .collect::<Result<_, _>>()?,
+        ),
+        ExprKind::Lambda { params, body } => ExprKind::Lambda {
+            params,
+            body: Box::new(subst_expr(*body, map)?),
+        },
+        lit @ (ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::NoneLit) => lit,
+    };
+    Ok(Expr::new(kind, span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::ast_to_source;
+    use crate::parse_str;
+
+    #[test]
+    fn appendix_c_example() {
+        // The paper's worked example: build my_function(x, y) from a quote.
+        let new_body = parse_str("a = x\nb = y\nreturn a + b\n").unwrap().body;
+        let stmts = replace(
+            "def fn(args):\n    body\n",
+            &[
+                ("fn", Replacement::Name("my_function".into())),
+                ("args", Replacement::NameList(vec!["x".into(), "y".into()])),
+                ("body", Replacement::Stmts(new_body)),
+            ],
+        )
+        .unwrap();
+        let out = ast_to_source(&Module { body: stmts });
+        assert_eq!(
+            out,
+            "def my_function(x, y):\n    a = x\n    b = y\n    return a + b\n"
+        );
+    }
+
+    #[test]
+    fn expr_substitution() {
+        let cond = parse_str("x > 0\n").unwrap();
+        let cond_expr = match &cond.body[0].kind {
+            StmtKind::ExprStmt(e) => e.clone(),
+            _ => panic!(),
+        };
+        let stmts = replace(
+            "r = test and other\n",
+            &[("test", Replacement::Expr(cond_expr))],
+        )
+        .unwrap();
+        let out = ast_to_source(&Module { body: stmts });
+        assert_eq!(out, "r = x > 0 and other\n");
+    }
+
+    #[test]
+    fn name_in_attribute_and_call_positions() {
+        let stmts = replace(
+            "obj.meth(a)\n",
+            &[
+                ("meth", Replacement::Name("converted".into())),
+                ("a", Replacement::NameList(vec!["p".into(), "q".into()])),
+            ],
+        )
+        .unwrap();
+        let out = ast_to_source(&Module { body: stmts });
+        assert_eq!(out, "obj.converted(p, q)\n");
+    }
+
+    #[test]
+    fn rejects_invalid_names() {
+        assert!(replace("x\n", &[("x", Replacement::Name("not valid".into()))]).is_err());
+        assert!(replace("x\n", &[("1x", Replacement::Name("y".into()))]).is_err());
+        assert!(replace(
+            "x\n",
+            &[(
+                "x",
+                Replacement::NameList(vec!["ok".into(), "no no".into()])
+            )]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stmts_in_expr_position_rejected() {
+        let body = parse_str("pass\n").unwrap().body;
+        let err = replace("y = body + 1\n", &[("body", Replacement::Stmts(body))]).unwrap_err();
+        assert!(err.to_string().contains("expression position"));
+    }
+
+    #[test]
+    fn untouched_placeholders_pass_through() {
+        let stmts = replace("keep = other\n", &[]).unwrap();
+        let out = ast_to_source(&Module { body: stmts });
+        assert_eq!(out, "keep = other\n");
+    }
+
+    #[test]
+    fn nested_blocks_substituted() {
+        let inner = parse_str("x = 1\n").unwrap().body;
+        let stmts = replace(
+            "while cond:\n    body\n",
+            &[
+                ("cond", Replacement::Name("running".into())),
+                ("body", Replacement::Stmts(inner)),
+            ],
+        )
+        .unwrap();
+        let out = ast_to_source(&Module { body: stmts });
+        assert_eq!(out, "while running:\n    x = 1\n");
+    }
+}

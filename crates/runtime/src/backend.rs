@@ -1,0 +1,377 @@
+//! Staging backends and the capture machinery for nested subgraphs.
+
+use crate::{Result, RuntimeError};
+use autograph_graph::builder::GraphBuilder;
+use autograph_graph::ir::{NodeId, OpKind, SubGraph};
+use autograph_lantern::sexpr::SExpr;
+use std::collections::HashMap;
+
+/// Which execution mode the interpreter is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Imperative op-by-op execution (eager tensors).
+    Eager,
+    /// Staging into the TensorFlow-like dataflow graph.
+    Graph,
+    /// Staging into the Lantern S-expression IR.
+    Lantern,
+}
+
+/// One graph-builder layer. The root layer builds the final graph;
+/// `cond`/`while` bodies stage in nested layers whose references to outer
+/// nodes become `Param` captures.
+#[derive(Debug)]
+pub struct GraphLayer {
+    /// Unique identity of this layer (stamped into `Value::GraphNode`).
+    pub epoch: u64,
+    /// The builder for this layer's nodes.
+    pub builder: GraphBuilder,
+    /// Number of pre-declared state params (loop state), before captures.
+    pub state_params: usize,
+    /// Outer references captured so far, in param order after the state
+    /// params. Entries are `(outer_epoch, outer_node)`.
+    pub captures: Vec<(u64, NodeId)>,
+    capture_map: HashMap<(u64, NodeId), NodeId>,
+}
+
+/// The graph staging context: a stack of builder layers.
+#[derive(Debug)]
+pub struct GraphStage {
+    layers: Vec<GraphLayer>,
+    next_epoch: u64,
+}
+
+impl GraphStage {
+    /// Start staging with a fresh root builder.
+    pub fn new() -> GraphStage {
+        GraphStage {
+            layers: vec![GraphLayer {
+                epoch: 1,
+                builder: GraphBuilder::new(),
+                state_params: 0,
+                captures: Vec::new(),
+                capture_map: HashMap::new(),
+            }],
+            next_epoch: 2,
+        }
+    }
+
+    /// The innermost layer.
+    pub fn top(&mut self) -> &mut GraphLayer {
+        self.layers.last_mut().expect("at least the root layer")
+    }
+
+    /// Push a name scope on the innermost layer's builder (readable node
+    /// names per converted function, §7.2 Function Wrappers).
+    pub fn push_scope(&mut self, name: &str) {
+        self.top().builder.push_scope(name);
+    }
+
+    /// Pop the innermost layer's name scope.
+    pub fn pop_scope(&mut self) {
+        self.top().builder.pop_scope();
+    }
+
+    /// The innermost layer's epoch.
+    pub fn top_epoch(&self) -> u64 {
+        self.layers.last().expect("root layer").epoch
+    }
+
+    /// Number of layers (1 = just the root).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Add a node in the innermost layer.
+    pub fn add(&mut self, op: OpKind, inputs: Vec<NodeId>) -> (u64, NodeId) {
+        let layer = self.top();
+        let id = layer.builder.add(op, inputs);
+        (layer.epoch, id)
+    }
+
+    /// Push a nested layer with `state_params` pre-declared params.
+    /// Returns the param node references (epoch, id).
+    pub fn push_layer(&mut self, state_params: usize) -> Vec<(u64, NodeId)> {
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let mut builder = GraphBuilder::new();
+        let params: Vec<(u64, NodeId)> = (0..state_params)
+            .map(|i| (epoch, builder.add(OpKind::Param(i), vec![])))
+            .collect();
+        self.layers.push(GraphLayer {
+            epoch,
+            builder,
+            state_params,
+            captures: Vec::new(),
+            capture_map: HashMap::new(),
+        });
+        params
+    }
+
+    /// Push a nested layer pre-seeded with the capture list of a sibling
+    /// layer (so a `cond`'s two branches agree on param indices).
+    pub fn push_layer_with_captures(
+        &mut self,
+        state_params: usize,
+        seeded: &[(u64, NodeId)],
+    ) -> Vec<(u64, NodeId)> {
+        let params = self.push_layer(state_params);
+        let layer = self.top();
+        for (i, outer) in seeded.iter().enumerate() {
+            let p = layer.builder.add(OpKind::Param(state_params + i), vec![]);
+            layer.captures.push(*outer);
+            layer.capture_map.insert(*outer, p);
+        }
+        params
+    }
+
+    /// Node ids of the innermost layer's capture params, in capture order
+    /// (used to pass loop-invariant captures through a `While` body).
+    pub fn capture_param_nodes(&mut self) -> Vec<NodeId> {
+        let layer = self.top();
+        let captures = layer.captures.clone();
+        captures
+            .iter()
+            .map(|outer| layer.capture_map[outer])
+            .collect()
+    }
+
+    /// Pop the innermost layer, returning its subgraph (with
+    /// `num_params = state_params + captures`) and the outer references it
+    /// captured.
+    pub fn pop_layer(&mut self, outputs: Vec<NodeId>) -> (SubGraph, Vec<(u64, NodeId)>) {
+        let layer = self.layers.pop().expect("pop_layer on root");
+        let num_params = layer.state_params + layer.captures.len();
+        (
+            SubGraph {
+                graph: layer.builder.finish(),
+                num_params,
+                outputs,
+            },
+            layer.captures,
+        )
+    }
+
+    /// Resolve a node reference `(epoch, id)` into the innermost layer,
+    /// inserting `Param` captures through every intermediate layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the epoch does not belong to any live layer (a staged
+    /// value escaped its staging context).
+    pub fn resolve(&mut self, epoch: u64, id: NodeId) -> Result<NodeId> {
+        let top = self.layers.len() - 1;
+        if self.layers[top].epoch == epoch {
+            return Ok(id);
+        }
+        let from = self
+            .layers
+            .iter()
+            .position(|l| l.epoch == epoch)
+            .ok_or_else(|| {
+                RuntimeError::new(
+                    "a staged tensor escaped its staging context (it belongs to a \
+                     graph that is no longer being built)",
+                )
+            })?;
+        let mut cur = (epoch, id);
+        for i in from + 1..=top {
+            let outer = cur;
+            let layer = &mut self.layers[i];
+            let local = match layer.capture_map.get(&outer) {
+                Some(&p) => p,
+                None => {
+                    let idx = layer.state_params + layer.captures.len();
+                    let p = layer.builder.add(OpKind::Param(idx), vec![]);
+                    layer.captures.push(outer);
+                    layer.capture_map.insert(outer, p);
+                    p
+                }
+            };
+            cur = (layer.epoch, local);
+        }
+        Ok(cur.1)
+    }
+
+    /// Finish staging: consume the root layer's builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nested layers are still open (an operator bug).
+    pub fn finish(mut self) -> autograph_graph::Graph {
+        assert_eq!(self.layers.len(), 1, "unbalanced staging layers");
+        self.layers.pop().expect("root layer").builder.finish()
+    }
+}
+
+impl Default for GraphStage {
+    fn default() -> Self {
+        GraphStage::new()
+    }
+}
+
+/// The Lantern staging context: staged function definitions plus
+/// let-binding frames (assignments during staging become `(let ...)`
+/// forms so shared subexpressions are computed once).
+#[derive(Debug, Default)]
+pub struct LanternStage {
+    /// Completed `(def name (params) body)` forms.
+    pub defs: Vec<SExpr>,
+    /// Function identity (Rc pointer) → staged name; present while staging
+    /// too, which is what lets recursive calls emit `(call f ...)` instead
+    /// of unrolling (§8 Staging Functions and Recursion).
+    pub staged: HashMap<usize, String>,
+    binding_frames: Vec<Vec<(String, SExpr)>>,
+    counter: u64,
+}
+
+impl LanternStage {
+    /// Fresh staging context.
+    pub fn new() -> LanternStage {
+        LanternStage::default()
+    }
+
+    /// Generate a unique symbol with a prefix.
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}_{}", self.counter)
+    }
+
+    /// Open a let-binding frame (entering a staged function body or a
+    /// staged `if` branch).
+    pub fn push_frame(&mut self) {
+        self.binding_frames.push(Vec::new());
+    }
+
+    /// Record a let binding in the current frame.
+    pub fn bind(&mut self, name: String, value: SExpr) {
+        if let Some(frame) = self.binding_frames.last_mut() {
+            frame.push((name, value));
+        }
+    }
+
+    /// Whether a binding frame is open (i.e. we are staging a body).
+    pub fn in_frame(&self) -> bool {
+        !self.binding_frames.is_empty()
+    }
+
+    /// Close the current frame, wrapping `body` in its bindings
+    /// (innermost binding closest to the body).
+    pub fn pop_frame(&mut self, body: SExpr) -> SExpr {
+        let frame = self.binding_frames.pop().unwrap_or_default();
+        let mut out = body;
+        for (name, value) in frame.into_iter().rev() {
+            out = SExpr::list(vec![SExpr::sym("let"), SExpr::sym(name), value, out]);
+        }
+        out
+    }
+
+    /// Assemble the final `(program ...)` S-expression.
+    pub fn program(&self, main: SExpr) -> SExpr {
+        let mut items = vec![SExpr::sym("program")];
+        items.extend(self.defs.iter().cloned());
+        items.push(main);
+        SExpr::list(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_tensor::Tensor;
+
+    #[test]
+    fn resolve_same_layer_is_identity() {
+        let mut s = GraphStage::new();
+        let (e, id) = s.add(OpKind::Const(Tensor::scalar_f32(1.0)), vec![]);
+        assert_eq!(s.resolve(e, id).unwrap(), id);
+    }
+
+    #[test]
+    fn resolve_captures_through_layers() {
+        let mut s = GraphStage::new();
+        let (e0, c) = s.add(OpKind::Const(Tensor::scalar_f32(1.0)), vec![]);
+        let params = s.push_layer(1);
+        assert_eq!(params.len(), 1);
+        // resolving the outer const creates Param(1) (after the state param)
+        let inner = s.resolve(e0, c).unwrap();
+        let again = s.resolve(e0, c).unwrap();
+        assert_eq!(inner, again, "capture deduplicated");
+        let (sub, caps) = s.pop_layer(vec![inner]);
+        assert_eq!(sub.num_params, 2);
+        assert_eq!(caps, vec![(e0, c)]);
+    }
+
+    #[test]
+    fn resolve_through_two_layers() {
+        let mut s = GraphStage::new();
+        let (e0, c) = s.add(OpKind::Const(Tensor::scalar_f32(1.0)), vec![]);
+        s.push_layer(0);
+        s.push_layer(0);
+        let innermost = s.resolve(e0, c).unwrap();
+        let (sub2, caps2) = s.pop_layer(vec![innermost]);
+        assert_eq!(sub2.num_params, 1);
+        // the middle layer also captured it
+        let (sub1, caps1) = s.pop_layer(vec![]);
+        assert_eq!(sub1.num_params, 1);
+        assert_eq!(caps1, vec![(e0, c)]);
+        // caps2 refers to the middle layer's param node
+        assert_eq!(caps2.len(), 1);
+        assert_ne!(caps2[0].0, e0);
+    }
+
+    #[test]
+    fn escaped_node_rejected() {
+        let mut s = GraphStage::new();
+        s.push_layer(0);
+        let (einner, id) = s.add(OpKind::Const(Tensor::scalar_f32(1.0)), vec![]);
+        let _ = s.pop_layer(vec![id]);
+        assert!(s.resolve(einner, id).is_err());
+    }
+
+    #[test]
+    fn seeded_captures_align() {
+        let mut s = GraphStage::new();
+        let (e0, a) = s.add(OpKind::Const(Tensor::scalar_f32(1.0)), vec![]);
+        let (_, b) = s.add(OpKind::Const(Tensor::scalar_f32(2.0)), vec![]);
+        // then-branch captures a
+        s.push_layer(0);
+        let ia = s.resolve(e0, a).unwrap();
+        let (_then, caps) = s.pop_layer(vec![ia]);
+        // else-branch pre-seeded with then's captures; captures b afterwards
+        s.push_layer_with_captures(0, &caps);
+        let ia2 = s.resolve(e0, a).unwrap();
+        let ib = s.resolve(e0, b).unwrap();
+        let (else_g, caps2) = s.pop_layer(vec![ia2, ib]);
+        assert_eq!(caps2, vec![(e0, a), (e0, b)]);
+        assert_eq!(else_g.num_params, 2);
+    }
+
+    #[test]
+    fn lantern_let_frames() {
+        let mut l = LanternStage::new();
+        l.push_frame();
+        l.bind("t_1".into(), SExpr::sym("x"));
+        l.bind("t_2".into(), SExpr::sym("y"));
+        let body = l.pop_frame(SExpr::sym("t_2"));
+        assert_eq!(body.to_string(), "(let t_1 x (let t_2 y t_2))");
+        assert!(!l.in_frame());
+    }
+
+    #[test]
+    fn lantern_program_assembly() {
+        let mut l = LanternStage::new();
+        l.defs.push(SExpr::list(vec![
+            SExpr::sym("def"),
+            SExpr::sym("f"),
+            SExpr::list(vec![SExpr::sym("x")]),
+            SExpr::sym("x"),
+        ]));
+        let p = l.program(SExpr::list(vec![
+            SExpr::sym("call"),
+            SExpr::sym("f"),
+            SExpr::Num(1.0),
+        ]));
+        assert_eq!(p.to_string(), "(program (def f (x) x) (call f 1))");
+    }
+}

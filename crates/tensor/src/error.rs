@@ -1,0 +1,124 @@
+//! Error type for tensor operations.
+
+use crate::DType;
+use std::fmt;
+
+/// Error produced by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two shapes could not be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// A shape did not match the number of elements supplied.
+    ShapeElementMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements actually supplied.
+        elements: usize,
+    },
+    /// An operation received a dtype it does not support.
+    DTypeMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// The dtype that was supplied.
+        got: DType,
+        /// The dtype that was expected.
+        expected: DType,
+    },
+    /// An index or axis was out of range.
+    IndexOutOfRange {
+        /// Operation name.
+        op: &'static str,
+        /// The offending index.
+        index: i64,
+        /// The valid exclusive bound.
+        bound: usize,
+    },
+    /// A rank (number of dimensions) requirement was violated.
+    RankMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// The rank that was supplied.
+        got: usize,
+        /// Human-readable requirement, e.g. `">= 2"`.
+        expected: &'static str,
+    },
+    /// Matmul inner dimensions disagree, or other shape incompatibility.
+    IncompatibleShapes {
+        /// Operation name.
+        op: &'static str,
+        /// Details of the incompatibility.
+        detail: String,
+    },
+    /// Any other invalid argument.
+    InvalidArgument {
+        /// Operation name.
+        op: &'static str,
+        /// Details.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "cannot broadcast shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::ShapeElementMismatch { shape, elements } => write!(
+                f,
+                "shape {shape:?} requires {} elements but {elements} were supplied",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::DTypeMismatch { op, got, expected } => {
+                write!(f, "{op}: expected dtype {expected}, got {got}")
+            }
+            TensorError::IndexOutOfRange { op, index, bound } => {
+                write!(f, "{op}: index {index} out of range for bound {bound}")
+            }
+            TensorError::RankMismatch { op, got, expected } => {
+                write!(f, "{op}: expected rank {expected}, got rank {got}")
+            }
+            TensorError::IncompatibleShapes { op, detail } => {
+                write!(f, "{op}: incompatible shapes: {detail}")
+            }
+            TensorError::InvalidArgument { op, detail } => {
+                write!(f, "{op}: invalid argument: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::BroadcastMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+        };
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]") && s.contains("[4]"));
+
+        let e = TensorError::DTypeMismatch {
+            op: "matmul",
+            got: DType::Bool,
+            expected: DType::F32,
+        };
+        assert!(e.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

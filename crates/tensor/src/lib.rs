@@ -1,0 +1,41 @@
+//! # autograph-tensor
+//!
+//! Dense n-dimensional tensor substrate for the AutoGraph reproduction.
+//!
+//! This crate plays the role of TensorFlow's kernel library: it provides the
+//! numeric arrays and operations that both the eager runtime
+//! (`autograph-eager`) and the dataflow-graph executor (`autograph-graph`)
+//! dispatch to. Tensors are row-major, contiguous, and carry one of three
+//! element types ([`DType::F32`], [`DType::I64`], [`DType::Bool`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use autograph_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::scalar_f32(10.0);
+//! let c = a.add(&b)?; // broadcasting
+//! assert_eq!(c.as_f32()?, &[11.0, 12.0, 13.0, 14.0]);
+//! # Ok::<(), autograph_tensor::TensorError>(())
+//! ```
+
+pub mod dtype;
+pub mod error;
+pub mod index;
+pub mod linalg;
+pub mod nn;
+pub mod ops;
+pub mod random;
+pub mod reduce;
+pub mod shape;
+pub mod tensor;
+
+pub use dtype::DType;
+pub use error::TensorError;
+pub use random::Rng64;
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::{Data, Tensor};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,260 @@
+//! Matrix multiplication and axis permutation.
+
+use crate::{DType, Data, Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 f32 tensors (or batched rank-3, where
+    /// the leading dimension is the batch).
+    ///
+    /// # Errors
+    ///
+    /// Fails when dtypes are not f32-compatible, ranks are unsupported, or
+    /// inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.dtype() == DType::Bool || rhs.dtype() == DType::Bool {
+            return Err(TensorError::DTypeMismatch {
+                op: "matmul",
+                got: DType::Bool,
+                expected: DType::F32,
+            });
+        }
+        let a = self.cast(DType::F32);
+        let b = rhs.cast(DType::F32);
+        match (a.rank(), b.rank()) {
+            (2, 2) => {
+                let (m, k) = (a.shape()[0], a.shape()[1]);
+                let (k2, n) = (b.shape()[0], b.shape()[1]);
+                if k != k2 {
+                    return Err(TensorError::IncompatibleShapes {
+                        op: "matmul",
+                        detail: format!("{:?} x {:?}", a.shape(), b.shape()),
+                    });
+                }
+                let out = matmul_2d(a.as_f32()?, b.as_f32()?, m, k, n);
+                Ok(Tensor::from_data(Data::F32(out), &[m, n]))
+            }
+            (3, 3) => {
+                let (bt, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+                let (bt2, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+                if bt != bt2 || k != k2 {
+                    return Err(TensorError::IncompatibleShapes {
+                        op: "matmul",
+                        detail: format!("{:?} x {:?}", a.shape(), b.shape()),
+                    });
+                }
+                let av = a.as_f32()?;
+                let bv = b.as_f32()?;
+                let mut out = Vec::with_capacity(bt * m * n);
+                for i in 0..bt {
+                    out.extend(matmul_2d(
+                        &av[i * m * k..(i + 1) * m * k],
+                        &bv[i * k * n..(i + 1) * k * n],
+                        m,
+                        k,
+                        n,
+                    ));
+                }
+                Ok(Tensor::from_data(Data::F32(out), &[bt, m, n]))
+            }
+            (ra, _) => Err(TensorError::RankMismatch {
+                op: "matmul",
+                got: ra,
+                expected: "2 (or batched 3)",
+            }),
+        }
+    }
+
+    /// Permute dimensions. `perm` must be a permutation of `0..rank`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `perm` is not a valid permutation of the tensor's axes.
+    pub fn transpose(&self, perm: &[usize]) -> Result<Tensor> {
+        if perm.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                got: perm.len(),
+                expected: "same as tensor rank",
+            });
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if p >= perm.len() || seen[p] {
+                return Err(TensorError::InvalidArgument {
+                    op: "transpose",
+                    detail: format!("{perm:?} is not a permutation"),
+                });
+            }
+            seen[p] = true;
+        }
+        let in_shape = self.shape();
+        let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+        let in_strides = crate::Shape::new(in_shape).strides();
+        let out_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let n = self.num_elements();
+
+        fn permute<T: Copy>(
+            v: &[T],
+            n: usize,
+            out_shape: &[usize],
+            out_strides: &[usize],
+        ) -> Vec<T> {
+            let mut out = Vec::with_capacity(n);
+            let rank = out_shape.len();
+            let mut coords = vec![0usize; rank];
+            for _ in 0..n {
+                let mut src = 0;
+                for d in 0..rank {
+                    src += coords[d] * out_strides[d];
+                }
+                out.push(v[src]);
+                for d in (0..rank).rev() {
+                    coords[d] += 1;
+                    if coords[d] < out_shape[d] {
+                        break;
+                    }
+                    coords[d] = 0;
+                }
+            }
+            out
+        }
+
+        let data = match self.data() {
+            Data::F32(v) => Data::F32(permute(v, n, &out_shape, &out_strides)),
+            Data::I64(v) => Data::I64(permute(v, n, &out_shape, &out_strides)),
+            Data::Bool(v) => Data::Bool(permute(v, n, &out_shape, &out_strides)),
+        };
+        Ok(Tensor::from_data(data, &out_shape))
+    }
+
+    /// Rank-2 transpose shorthand (`transpose(&[1, 0])`); identity on rank
+    /// 0/1.
+    ///
+    /// # Errors
+    ///
+    /// Fails for rank > 2.
+    pub fn t(&self) -> Result<Tensor> {
+        match self.rank() {
+            0 | 1 => Ok(self.clone()),
+            2 => self.transpose(&[1, 0]),
+            r => Err(TensorError::RankMismatch {
+                op: "t",
+                got: r,
+                expected: "<= 2",
+            }),
+        }
+    }
+}
+
+/// Inner loop: (m,k) x (k,n) with i-k-j ordering for cache-friendly access.
+fn matmul_2d(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x2() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_f32().unwrap(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rect() {
+        // (1,3) x (3,2)
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[1, 2]);
+        assert_eq!(c.as_f32().unwrap(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], &[2, 2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        assert_eq!(
+            c.as_f32().unwrap(),
+            &[1.0, 2.0, 3.0, 4.0, 2.0, 4.0, 6.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn matmul_inner_mismatch() {
+        let a = Tensor::zeros(DType::F32, &[2, 3]);
+        let b = Tensor::zeros(DType::F32, &[4, 2]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_rank_and_dtype_errors() {
+        let v = Tensor::zeros(DType::F32, &[3]);
+        assert!(v.matmul(&v).is_err());
+        let b = Tensor::from_vec_bool(vec![true; 4], &[2, 2]).unwrap();
+        assert!(b.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_promotes_i64() {
+        let a = Tensor::from_vec_i64(vec![1, 2, 3, 4], &[2, 2]).unwrap();
+        let c = a.matmul(&a).unwrap();
+        assert_eq!(c.dtype(), DType::F32);
+        assert_eq!(c.as_f32().unwrap(), &[7.0, 10.0, 15.0, 22.0]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.t().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.as_f32().unwrap(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_3d_102() {
+        // the dynamic_rnn transpose: (batch, time, feat) -> (time, batch, feat)
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 3, 2]).unwrap();
+        let t = a.transpose(&[1, 0, 2]).unwrap();
+        assert_eq!(t.shape(), &[3, 2, 2]);
+        assert_eq!(
+            t.as_f32().unwrap(),
+            &[0.0, 1.0, 6.0, 7.0, 2.0, 3.0, 8.0, 9.0, 4.0, 5.0, 10.0, 11.0]
+        );
+    }
+
+    #[test]
+    fn transpose_validates_perm() {
+        let a = Tensor::zeros(DType::F32, &[2, 3]);
+        assert!(a.transpose(&[0, 0]).is_err());
+        assert!(a.transpose(&[0]).is_err());
+        assert!(a.transpose(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]).unwrap();
+        let t = a.transpose(&[2, 0, 1]).unwrap();
+        let back = t.transpose(&[1, 2, 0]).unwrap();
+        assert_eq!(back.as_f32().unwrap(), a.as_f32().unwrap());
+    }
+}

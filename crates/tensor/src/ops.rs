@@ -1,0 +1,672 @@
+//! Elementwise arithmetic, comparison and logical kernels with broadcasting.
+
+use crate::shape::BroadcastMap;
+use crate::{broadcast_shapes, DType, Data, Result, Tensor, TensorError};
+
+/// Apply a binary f32 kernel with broadcasting. Integer inputs are promoted
+/// to f32 when mixed with floats; pure-integer inputs stay integer for the
+/// arithmetic ops that preserve integrality.
+fn binary_numeric(
+    op: &'static str,
+    lhs: &Tensor,
+    rhs: &Tensor,
+    f_f32: impl Fn(f32, f32) -> f32,
+    f_i64: Option<impl Fn(i64, i64) -> i64>,
+) -> Result<Tensor> {
+    let out_shape = broadcast_shapes(lhs.shape(), rhs.shape())?;
+    if lhs.dtype() == DType::Bool || rhs.dtype() == DType::Bool {
+        return Err(TensorError::DTypeMismatch {
+            op,
+            got: DType::Bool,
+            expected: DType::F32,
+        });
+    }
+    let lm = BroadcastMap::new(lhs.shape(), &out_shape);
+    let rm = BroadcastMap::new(rhs.shape(), &out_shape);
+    let n: usize = out_shape.iter().product();
+
+    if lhs.dtype() == DType::I64 && rhs.dtype() == DType::I64 {
+        if let Some(fi) = f_i64 {
+            let a = lhs.as_i64()?;
+            let b = rhs.as_i64()?;
+            let mut out = Vec::with_capacity(n);
+            if lm.is_identity() && rm.is_identity() {
+                for i in 0..n {
+                    out.push(fi(a[i], b[i]));
+                }
+            } else {
+                for i in 0..n {
+                    out.push(fi(a[lm.map(i)], b[rm.map(i)]));
+                }
+            }
+            return Ok(Tensor::from_data(Data::I64(out), &out_shape));
+        }
+    }
+    let a = lhs.cast(DType::F32);
+    let b = rhs.cast(DType::F32);
+    let a = a.as_f32()?;
+    let b = b.as_f32()?;
+    let mut out = Vec::with_capacity(n);
+    if lm.is_identity() && rm.is_identity() {
+        for i in 0..n {
+            out.push(f_f32(a[i], b[i]));
+        }
+    } else {
+        for i in 0..n {
+            out.push(f_f32(a[lm.map(i)], b[rm.map(i)]));
+        }
+    }
+    Ok(Tensor::from_data(Data::F32(out), &out_shape))
+}
+
+/// Apply a broadcasting comparison producing a bool tensor.
+fn binary_compare(
+    op: &'static str,
+    lhs: &Tensor,
+    rhs: &Tensor,
+    f: impl Fn(f32, f32) -> bool,
+) -> Result<Tensor> {
+    let out_shape = broadcast_shapes(lhs.shape(), rhs.shape())?;
+    if lhs.dtype() == DType::Bool || rhs.dtype() == DType::Bool {
+        return Err(TensorError::DTypeMismatch {
+            op,
+            got: DType::Bool,
+            expected: DType::F32,
+        });
+    }
+    let lm = BroadcastMap::new(lhs.shape(), &out_shape);
+    let rm = BroadcastMap::new(rhs.shape(), &out_shape);
+    let a = lhs.cast(DType::F32);
+    let b = rhs.cast(DType::F32);
+    let a = a.as_f32()?;
+    let b = b.as_f32()?;
+    let n: usize = out_shape.iter().product();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(f(a[lm.map(i)], b[rm.map(i)]));
+    }
+    Ok(Tensor::from_data(Data::Bool(out), &out_shape))
+}
+
+impl Tensor {
+    /// Elementwise addition with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric(
+            "add",
+            self,
+            rhs,
+            |a, b| a + b,
+            Some(|a: i64, b: i64| a.wrapping_add(b)),
+        )
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric(
+            "sub",
+            self,
+            rhs,
+            |a, b| a - b,
+            Some(|a: i64, b: i64| a.wrapping_sub(b)),
+        )
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric(
+            "mul",
+            self,
+            rhs,
+            |a, b| a * b,
+            Some(|a: i64, b: i64| a.wrapping_mul(b)),
+        )
+    }
+
+    /// Elementwise (true) division with broadcasting; always produces f32,
+    /// matching `tf.divide`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn div(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric("div", self, rhs, |a, b| a / b, None::<fn(i64, i64) -> i64>)
+    }
+
+    /// Elementwise floor-division.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn floordiv(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric(
+            "floordiv",
+            self,
+            rhs,
+            |a, b| (a / b).floor(),
+            Some(|a: i64, b: i64| a.div_euclid(b)),
+        )
+    }
+
+    /// Elementwise modulo.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn rem(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric(
+            "mod",
+            self,
+            rhs,
+            |a, b| a.rem_euclid(b),
+            Some(|a: i64, b: i64| a.rem_euclid(b)),
+        )
+    }
+
+    /// Elementwise power.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn pow(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric(
+            "pow",
+            self,
+            rhs,
+            |a, b| a.powf(b),
+            Some(|a: i64, b: i64| a.pow(b.max(0) as u32)),
+        )
+    }
+
+    /// Elementwise maximum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn maximum(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric(
+            "maximum",
+            self,
+            rhs,
+            f32::max,
+            Some(|a: i64, b: i64| a.max(b)),
+        )
+    }
+
+    /// Elementwise minimum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn minimum(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_numeric(
+            "minimum",
+            self,
+            rhs,
+            f32::min,
+            Some(|a: i64, b: i64| a.min(b)),
+        )
+    }
+
+    /// Elementwise negation.
+    ///
+    /// # Errors
+    ///
+    /// Fails for boolean tensors.
+    pub fn neg(&self) -> Result<Tensor> {
+        match self.data() {
+            Data::F32(v) => Ok(Tensor::from_data(
+                Data::F32(v.iter().map(|x| -x).collect()),
+                self.shape(),
+            )),
+            Data::I64(v) => Ok(Tensor::from_data(
+                Data::I64(v.iter().map(|x| -x).collect()),
+                self.shape(),
+            )),
+            Data::Bool(_) => Err(TensorError::DTypeMismatch {
+                op: "neg",
+                got: DType::Bool,
+                expected: DType::F32,
+            }),
+        }
+    }
+
+    /// Elementwise absolute value.
+    ///
+    /// # Errors
+    ///
+    /// Fails for boolean tensors.
+    pub fn abs(&self) -> Result<Tensor> {
+        match self.data() {
+            Data::F32(v) => Ok(Tensor::from_data(
+                Data::F32(v.iter().map(|x| x.abs()).collect()),
+                self.shape(),
+            )),
+            Data::I64(v) => Ok(Tensor::from_data(
+                Data::I64(v.iter().map(|x| x.abs()).collect()),
+                self.shape(),
+            )),
+            Data::Bool(_) => Err(TensorError::DTypeMismatch {
+                op: "abs",
+                got: DType::Bool,
+                expected: DType::F32,
+            }),
+        }
+    }
+
+    /// Elementwise square.
+    ///
+    /// # Errors
+    ///
+    /// Fails for boolean tensors.
+    pub fn square(&self) -> Result<Tensor> {
+        self.mul(self)
+    }
+
+    /// Elementwise square root (f32).
+    ///
+    /// # Errors
+    ///
+    /// Fails for boolean tensors.
+    pub fn sqrt(&self) -> Result<Tensor> {
+        self.map_f32("sqrt", f32::sqrt)
+    }
+
+    /// Elementwise natural exponent (f32).
+    ///
+    /// # Errors
+    ///
+    /// Fails for boolean tensors.
+    pub fn exp(&self) -> Result<Tensor> {
+        self.map_f32("exp", f32::exp)
+    }
+
+    /// Elementwise natural logarithm (f32).
+    ///
+    /// # Errors
+    ///
+    /// Fails for boolean tensors.
+    pub fn log(&self) -> Result<Tensor> {
+        self.map_f32("log", f32::ln)
+    }
+
+    /// Apply an arbitrary f32 map, promoting integers.
+    ///
+    /// # Errors
+    ///
+    /// Fails for boolean tensors.
+    pub fn map_f32(&self, op: &'static str, f: impl Fn(f32) -> f32) -> Result<Tensor> {
+        if self.dtype() == DType::Bool {
+            return Err(TensorError::DTypeMismatch {
+                op,
+                got: DType::Bool,
+                expected: DType::F32,
+            });
+        }
+        let t = self.cast(DType::F32);
+        let v = t.as_f32()?;
+        Ok(Tensor::from_data(
+            Data::F32(v.iter().map(|&x| f(x)).collect()),
+            self.shape(),
+        ))
+    }
+
+    // ---- comparisons ------------------------------------------------------
+
+    /// Elementwise `<` producing a bool tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn less(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_compare("less", self, rhs, |a, b| a < b)
+    }
+
+    /// Elementwise `<=` producing a bool tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn less_equal(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_compare("less_equal", self, rhs, |a, b| a <= b)
+    }
+
+    /// Elementwise `>` producing a bool tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn greater(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_compare("greater", self, rhs, |a, b| a > b)
+    }
+
+    /// Elementwise `>=` producing a bool tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch or boolean operands.
+    pub fn greater_equal(&self, rhs: &Tensor) -> Result<Tensor> {
+        binary_compare("greater_equal", self, rhs, |a, b| a >= b)
+    }
+
+    /// Elementwise `==` producing a bool tensor (bools compared as bools).
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch.
+    pub fn equal(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.dtype() == DType::Bool && rhs.dtype() == DType::Bool {
+            let out_shape = broadcast_shapes(self.shape(), rhs.shape())?;
+            let lm = BroadcastMap::new(self.shape(), &out_shape);
+            let rm = BroadcastMap::new(rhs.shape(), &out_shape);
+            let a = self.as_bool()?;
+            let b = rhs.as_bool()?;
+            let n: usize = out_shape.iter().product();
+            let out: Vec<bool> = (0..n).map(|i| a[lm.map(i)] == b[rm.map(i)]).collect();
+            return Ok(Tensor::from_data(Data::Bool(out), &out_shape));
+        }
+        binary_compare("equal", self, rhs, |a, b| a == b)
+    }
+
+    /// Elementwise `!=` producing a bool tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broadcast mismatch.
+    pub fn not_equal(&self, rhs: &Tensor) -> Result<Tensor> {
+        let eq = self.equal(rhs)?;
+        eq.logical_not()
+    }
+
+    // ---- logical ----------------------------------------------------------
+
+    /// Elementwise logical AND of bool tensors with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Fails when operands are not boolean.
+    pub fn logical_and(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.binary_bool("logical_and", rhs, |a, b| a && b)
+    }
+
+    /// Elementwise logical OR of bool tensors with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Fails when operands are not boolean.
+    pub fn logical_or(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.binary_bool("logical_or", rhs, |a, b| a || b)
+    }
+
+    /// Elementwise logical NOT of a bool tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the operand is not boolean.
+    pub fn logical_not(&self) -> Result<Tensor> {
+        let v = self.as_bool().map_err(|_| TensorError::DTypeMismatch {
+            op: "logical_not",
+            got: self.dtype(),
+            expected: DType::Bool,
+        })?;
+        Ok(Tensor::from_data(
+            Data::Bool(v.iter().map(|x| !x).collect()),
+            self.shape(),
+        ))
+    }
+
+    fn binary_bool(
+        &self,
+        op: &'static str,
+        rhs: &Tensor,
+        f: impl Fn(bool, bool) -> bool,
+    ) -> Result<Tensor> {
+        if self.dtype() != DType::Bool || rhs.dtype() != DType::Bool {
+            return Err(TensorError::DTypeMismatch {
+                op,
+                got: if self.dtype() != DType::Bool {
+                    self.dtype()
+                } else {
+                    rhs.dtype()
+                },
+                expected: DType::Bool,
+            });
+        }
+        let out_shape = broadcast_shapes(self.shape(), rhs.shape())?;
+        let lm = BroadcastMap::new(self.shape(), &out_shape);
+        let rm = BroadcastMap::new(rhs.shape(), &out_shape);
+        let a = self.as_bool()?;
+        let b = rhs.as_bool()?;
+        let n: usize = out_shape.iter().product();
+        let out: Vec<bool> = (0..n).map(|i| f(a[lm.map(i)], b[rm.map(i)])).collect();
+        Ok(Tensor::from_data(Data::Bool(out), &out_shape))
+    }
+
+    /// `where(cond, a, b)`: select elements of `a` where `cond` is true,
+    /// else of `b`, with broadcasting over all three operands.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `cond` is not boolean or shapes do not broadcast.
+    pub fn select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if cond.dtype() != DType::Bool {
+            return Err(TensorError::DTypeMismatch {
+                op: "select",
+                got: cond.dtype(),
+                expected: DType::Bool,
+            });
+        }
+        if a.dtype() != b.dtype() {
+            return Err(TensorError::DTypeMismatch {
+                op: "select",
+                got: b.dtype(),
+                expected: a.dtype(),
+            });
+        }
+        let ab = broadcast_shapes(a.shape(), b.shape())?;
+        let out_shape = broadcast_shapes(cond.shape(), &ab)?;
+        let cm = BroadcastMap::new(cond.shape(), &out_shape);
+        let am = BroadcastMap::new(a.shape(), &out_shape);
+        let bm = BroadcastMap::new(b.shape(), &out_shape);
+        let c = cond.as_bool()?;
+        let n: usize = out_shape.iter().product();
+        let data = match (a.data(), b.data()) {
+            (Data::F32(av), Data::F32(bv)) => Data::F32(
+                (0..n)
+                    .map(|i| {
+                        if c[cm.map(i)] {
+                            av[am.map(i)]
+                        } else {
+                            bv[bm.map(i)]
+                        }
+                    })
+                    .collect(),
+            ),
+            (Data::I64(av), Data::I64(bv)) => Data::I64(
+                (0..n)
+                    .map(|i| {
+                        if c[cm.map(i)] {
+                            av[am.map(i)]
+                        } else {
+                            bv[bm.map(i)]
+                        }
+                    })
+                    .collect(),
+            ),
+            (Data::Bool(av), Data::Bool(bv)) => Data::Bool(
+                (0..n)
+                    .map(|i| {
+                        if c[cm.map(i)] {
+                            av[am.map(i)]
+                        } else {
+                            bv[bm.map(i)]
+                        }
+                    })
+                    .collect(),
+            ),
+            _ => unreachable!("dtype equality checked above"),
+        };
+        Ok(Tensor::from_data(data, &out_shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::from_vec(v, s).unwrap()
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![10.0, 20.0, 30.0], &[3]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.as_f32().unwrap(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let a = Tensor::from_vec_i64(vec![5, 7], &[2]).unwrap();
+        let b = Tensor::scalar_i64(2);
+        assert_eq!(a.add(&b).unwrap().dtype(), DType::I64);
+        assert_eq!(a.floordiv(&b).unwrap().as_i64().unwrap(), &[2, 3]);
+        // true division promotes
+        assert_eq!(a.div(&b).unwrap().as_f32().unwrap(), &[2.5, 3.5]);
+    }
+
+    #[test]
+    fn mixed_promotes_to_f32() {
+        let a = Tensor::from_vec_i64(vec![1, 2], &[2]).unwrap();
+        let b = t(vec![0.5, 0.5], &[2]);
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.dtype(), DType::F32);
+        assert_eq!(c.as_f32().unwrap(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn bool_arithmetic_rejected() {
+        let a = Tensor::scalar_bool(true);
+        let b = Tensor::scalar_f32(1.0);
+        assert!(a.add(&b).is_err());
+        assert!(b.less(&a).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = t(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::scalar_f32(2.0);
+        assert_eq!(
+            a.less(&b).unwrap().as_bool().unwrap(),
+            &[true, false, false]
+        );
+        assert_eq!(
+            a.greater_equal(&b).unwrap().as_bool().unwrap(),
+            &[false, true, true]
+        );
+        assert_eq!(
+            a.equal(&b).unwrap().as_bool().unwrap(),
+            &[false, true, false]
+        );
+        assert_eq!(
+            a.not_equal(&b).unwrap().as_bool().unwrap(),
+            &[true, false, true]
+        );
+    }
+
+    #[test]
+    fn bool_equal() {
+        let a = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let b = Tensor::scalar_bool(true);
+        assert_eq!(a.equal(&b).unwrap().as_bool().unwrap(), &[true, false]);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = Tensor::from_vec_bool(vec![true, true, false], &[3]).unwrap();
+        let b = Tensor::from_vec_bool(vec![true, false, false], &[3]).unwrap();
+        assert_eq!(
+            a.logical_and(&b).unwrap().as_bool().unwrap(),
+            &[true, false, false]
+        );
+        assert_eq!(
+            a.logical_or(&b).unwrap().as_bool().unwrap(),
+            &[true, true, false]
+        );
+        assert_eq!(
+            a.logical_not().unwrap().as_bool().unwrap(),
+            &[false, false, true]
+        );
+        assert!(Tensor::scalar_f32(1.0).logical_not().is_err());
+    }
+
+    #[test]
+    fn select_broadcasts() {
+        let c = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = Tensor::scalar_f32(9.0);
+        let r = Tensor::select(&c, &a, &b).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[1.0, 9.0]);
+        // cond broadcasting across rows: [2] over [2,2] aligns right
+        let c2 = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let a2 = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r2 = Tensor::select(&c2, &a2, &b).unwrap();
+        assert_eq!(r2.as_f32().unwrap(), &[1.0, 9.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn unary_math() {
+        let a = t(vec![-1.0, 4.0], &[2]);
+        assert_eq!(a.neg().unwrap().as_f32().unwrap(), &[1.0, -4.0]);
+        assert_eq!(a.abs().unwrap().as_f32().unwrap(), &[1.0, 4.0]);
+        assert_eq!(a.square().unwrap().as_f32().unwrap(), &[1.0, 16.0]);
+        assert_eq!(t(vec![4.0], &[1]).sqrt().unwrap().as_f32().unwrap(), &[2.0]);
+        let e = t(vec![0.0], &[1]).exp().unwrap();
+        assert_eq!(e.as_f32().unwrap(), &[1.0]);
+        let l = t(vec![1.0], &[1]).log().unwrap();
+        assert_eq!(l.as_f32().unwrap(), &[0.0]);
+    }
+
+    #[test]
+    fn pow_and_minmax() {
+        let a = t(vec![2.0, 3.0], &[2]);
+        assert_eq!(
+            a.pow(&Tensor::scalar_f32(2.0)).unwrap().as_f32().unwrap(),
+            &[4.0, 9.0]
+        );
+        assert_eq!(
+            a.maximum(&Tensor::scalar_f32(2.5))
+                .unwrap()
+                .as_f32()
+                .unwrap(),
+            &[2.5, 3.0]
+        );
+        assert_eq!(
+            a.minimum(&Tensor::scalar_f32(2.5))
+                .unwrap()
+                .as_f32()
+                .unwrap(),
+            &[2.0, 2.5]
+        );
+    }
+
+    #[test]
+    fn rem_euclid_semantics() {
+        let a = Tensor::from_vec_i64(vec![-3, 7], &[2]).unwrap();
+        let b = Tensor::scalar_i64(5);
+        assert_eq!(a.rem(&b).unwrap().as_i64().unwrap(), &[2, 2]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Shapes, strides and NumPy-style broadcasting.
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: the extent of each dimension, outermost first.
+///
+/// A scalar has the empty shape `[]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Construct from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Compute the broadcast of two shapes per NumPy rules.
+///
+/// Dimensions are aligned from the right; each pair must be equal or one of
+/// them must be 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastMismatch`] when a dimension pair is
+/// incompatible.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() {
+            1
+        } else {
+            lhs[i - (rank - lhs.len())]
+        };
+        let r = if i < rank - rhs.len() {
+            1
+        } else {
+            rhs[i - (rank - rhs.len())]
+        };
+        out[i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Iterator-free index mapping used by broadcast kernels: maps a flat index
+/// in the output shape to a flat index in a (possibly lower-rank,
+/// broadcast) input shape.
+#[derive(Debug, Clone)]
+pub struct BroadcastMap {
+    /// For each output dimension, the input stride (0 where broadcast).
+    strides: Vec<usize>,
+    out_shape: Vec<usize>,
+}
+
+impl BroadcastMap {
+    /// Build a map from `in_shape` broadcast up to `out_shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible; callers are
+    /// expected to have validated with [`broadcast_shapes`] first.
+    pub fn new(in_shape: &[usize], out_shape: &[usize]) -> Self {
+        let rank = out_shape.len();
+        let offset = rank - in_shape.len();
+        let in_strides = Shape::new(in_shape).strides();
+        let mut strides = vec![0; rank];
+        for i in 0..rank {
+            if i >= offset {
+                let d = in_shape[i - offset];
+                assert!(
+                    d == out_shape[i] || d == 1,
+                    "shape {in_shape:?} does not broadcast to {out_shape:?}"
+                );
+                strides[i] = if d == 1 { 0 } else { in_strides[i - offset] };
+            }
+        }
+        BroadcastMap {
+            strides,
+            out_shape: out_shape.to_vec(),
+        }
+    }
+
+    /// Whether the map is the identity (no broadcasting happened).
+    pub fn is_identity(&self) -> bool {
+        self.strides == Shape::new(&self.out_shape).strides() || self.out_shape.is_empty()
+    }
+
+    /// Map a flat output index to the flat input index.
+    #[inline]
+    pub fn map(&self, mut flat: usize) -> usize {
+        let mut idx = 0;
+        for i in (0..self.out_shape.len()).rev() {
+            let d = self.out_shape[i];
+            let coord = flat % d;
+            flat /= d;
+            idx += coord * self.strides[i];
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn num_elements() {
+        assert_eq!(Shape::new(&[]).num_elements(), 1);
+        assert_eq!(Shape::new(&[2, 3]).num_elements(), 6);
+        assert_eq!(Shape::new(&[0, 3]).num_elements(), 0);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4]).unwrap(), vec![4]);
+        assert_eq!(broadcast_shapes(&[7], &[]).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn broadcast_mismatch() {
+        assert!(broadcast_shapes(&[2, 3], &[4]).is_err());
+        assert!(broadcast_shapes(&[2], &[3]).is_err());
+    }
+
+    #[test]
+    fn broadcast_map_scalar() {
+        let m = BroadcastMap::new(&[], &[2, 2]);
+        for i in 0..4 {
+            assert_eq!(m.map(i), 0);
+        }
+    }
+
+    #[test]
+    fn broadcast_map_row() {
+        // [3] broadcast to [2,3]: output (i,j) -> input j
+        let m = BroadcastMap::new(&[3], &[2, 3]);
+        assert_eq!(
+            (0..6).map(|i| m.map(i)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn broadcast_map_col() {
+        // [2,1] broadcast to [2,3]: output (i,j) -> input i
+        let m = BroadcastMap::new(&[2, 1], &[2, 3]);
+        assert_eq!(
+            (0..6).map(|i| m.map(i)).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(BroadcastMap::new(&[2, 3], &[2, 3]).is_identity());
+        assert!(!BroadcastMap::new(&[1, 3], &[2, 3]).is_identity());
+    }
+}

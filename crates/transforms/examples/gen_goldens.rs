@@ -1,0 +1,41 @@
+//! Developer tool: regenerate the golden outputs pinned by
+//! `tests/reference.rs` after an intentional pipeline change.
+//!
+//! ```sh
+//! cargo run -p autograph-transforms --example gen_goldens
+//! ```
+
+use autograph_transforms::pipeline::{convert_source, ConversionConfig};
+
+fn main() {
+    let cases: Vec<(&str, &str)> = vec![
+        (
+            "reference_listing1",
+            "def f(x):\n    if x > 0:\n        x = x * x\n    return x\n",
+        ),
+        (
+            "reference_while_with_logical_test",
+            "def f(x, eps):\n    while x > eps and x > 0:\n        x = f2(x)\n    return x\n",
+        ),
+        (
+            "reference_for_with_break_and_append",
+            "def f(xs):\n    out = []\n    for v in xs:\n        if v > 9:\n            break\n        out.append(v)\n    return ag.stack(out)\n",
+        ),
+        (
+            "reference_early_return_structured",
+            "def f(x):\n    if x > 0:\n        return g(x)\n    return h(x)\n",
+        ),
+        (
+            "reference_nested_function_conversion",
+            "def outer(x):\n    def inner(y):\n        if y > 0:\n            y = y - 1\n        return y\n    return inner(x)\n",
+        ),
+    ];
+    for (name, src) in cases {
+        println!("===CASE {name}");
+        print!(
+            "{}",
+            convert_source(src, &ConversionConfig::default()).expect("conversion")
+        );
+        println!("===END");
+    }
+}

@@ -1,0 +1,67 @@
+//! Converts `assert` statements in-place to the overloadable functional
+//! form `ag.assert_stmt(cond, message)` (§7.2). The runtime dispatches: a
+//! Python boolean asserts immediately; a staged tensor lowers to a graph
+//! assertion op.
+
+use crate::context::{ag_call, PassContext};
+use crate::error::ConversionError;
+use autograph_pylang::ast::*;
+use autograph_pylang::Module;
+
+/// Run the assert-conversion pass.
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for pipeline uniformity.
+pub fn run(module: Module, _ctx: &mut PassContext) -> Result<Module, ConversionError> {
+    let body = crate::context::rewrite_bodies_bottom_up(module.body, &mut |stmts| {
+        Ok::<_, ConversionError>(
+            stmts
+                .into_iter()
+                .map(|s| match s.kind {
+                    StmtKind::Assert { test, msg } => {
+                        let span = s.span;
+                        let msg = msg.unwrap_or(Expr::new(ExprKind::NoneLit, span));
+                        Stmt::new(
+                            StmtKind::ExprStmt(ag_call("assert_stmt", vec![test, msg], span)),
+                            span,
+                        )
+                    }
+                    other => Stmt::new(other, s.span),
+                })
+                .collect(),
+        )
+    })?;
+    Ok(Module { body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_pylang::codegen::ast_to_source;
+    use autograph_pylang::parse_module;
+
+    fn convert(src: &str) -> String {
+        let m = parse_module(src).unwrap();
+        ast_to_source(&run(m, &mut PassContext::new()).unwrap())
+    }
+
+    #[test]
+    fn assert_with_message() {
+        assert_eq!(
+            convert("assert x > 0, 'bad x'\n"),
+            "ag.assert_stmt(x > 0, 'bad x')\n"
+        );
+    }
+
+    #[test]
+    fn assert_without_message_gets_none() {
+        assert_eq!(convert("assert ok\n"), "ag.assert_stmt(ok, None)\n");
+    }
+
+    #[test]
+    fn nested_asserts_converted() {
+        let out = convert("def f(x):\n    if c:\n        assert x\n    return x\n");
+        assert!(out.contains("ag.assert_stmt(x, None)"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Lowers `break` statements (§7.2) into guard variables and expanded loop
+//! conditions. After this pass no `break` remains anywhere.
+//!
+//! ```text
+//! while c:                 break__1 = False
+//!     if done:             while not break__1 and c:
+//!         break       →        if done:
+//!     x = f(x)                     break__1 = True
+//!                              if not break__1:
+//!                                  x = f(x)
+//! ```
+//!
+//! `for` loops cannot grow an extra condition in Python syntax, so the body
+//! is additionally wrapped in `if not guard:` — the loop runs out its
+//! iterator with a false guard, preserving semantics (TensorFlow's staged
+//! loop applies the same masking; real AutoGraph threads an `extra_test`
+//! into `for_stmt`, which the runtime here also supports for `while`-based
+//! early exit).
+
+use crate::context::PassContext;
+use crate::continue_stmt::guarded_if;
+use crate::error::ConversionError;
+use autograph_pylang::ast::*;
+use autograph_pylang::{Module, Span};
+
+/// Run the break-lowering pass over a module.
+///
+/// # Errors
+///
+/// Returns [`ConversionError`] for a `break` outside any loop.
+pub fn run(module: Module, ctx: &mut PassContext) -> Result<Module, ConversionError> {
+    let body = process_block(module.body, ctx, false)?;
+    Ok(Module { body })
+}
+
+fn process_block(
+    body: Vec<Stmt>,
+    ctx: &mut PassContext,
+    in_loop: bool,
+) -> Result<Vec<Stmt>, ConversionError> {
+    let mut out = Vec::with_capacity(body.len());
+    for stmt in body {
+        let span = stmt.span;
+        match stmt.kind {
+            StmtKind::FunctionDef {
+                name,
+                params,
+                body,
+                decorators,
+            } => out.push(Stmt::new(
+                StmtKind::FunctionDef {
+                    name,
+                    params,
+                    body: process_block(body, ctx, false)?,
+                    decorators,
+                },
+                span,
+            )),
+            StmtKind::If { test, body, orelse } => out.push(Stmt::new(
+                StmtKind::If {
+                    test,
+                    body: process_block(body, ctx, in_loop)?,
+                    orelse: process_block(orelse, ctx, in_loop)?,
+                },
+                span,
+            )),
+            StmtKind::While { test, body } => {
+                let body = process_block(body, ctx, true)?;
+                if block_has_break(&body) {
+                    let guard = ctx.gensym("break");
+                    let (guarded, _) = guard_block(body, &guard);
+                    out.push(assign_bool(&guard, false, span));
+                    out.push(Stmt::new(
+                        StmtKind::While {
+                            // not guard and (test)
+                            test: Expr::new(
+                                ExprKind::BoolOp {
+                                    op: BoolOpKind::And,
+                                    values: vec![
+                                        Expr::new(
+                                            ExprKind::UnaryOp {
+                                                op: UnaryOp::Not,
+                                                operand: Box::new(Expr::new(
+                                                    ExprKind::Name(guard.clone()),
+                                                    span,
+                                                )),
+                                            },
+                                            span,
+                                        ),
+                                        test,
+                                    ],
+                                },
+                                span,
+                            ),
+                            body: guarded,
+                        },
+                        span,
+                    ));
+                } else {
+                    out.push(Stmt::new(StmtKind::While { test, body }, span));
+                }
+            }
+            StmtKind::For { target, iter, body } => {
+                let body = process_block(body, ctx, true)?;
+                if block_has_break(&body) {
+                    let guard = ctx.gensym("break");
+                    let (guarded, _) = guard_block(body, &guard);
+                    out.push(assign_bool(&guard, false, span));
+                    out.push(Stmt::new(
+                        StmtKind::For {
+                            target,
+                            iter,
+                            body: vec![guarded_if(&guard, guarded, span)],
+                        },
+                        span,
+                    ));
+                } else {
+                    out.push(Stmt::new(StmtKind::For { target, iter, body }, span));
+                }
+            }
+            StmtKind::Break if !in_loop => {
+                return Err(ConversionError::new("'break' outside of a loop", span));
+            }
+            other => out.push(Stmt::new(other, span)),
+        }
+    }
+    Ok(out)
+}
+
+fn assign_bool(name: &str, value: bool, span: Span) -> Stmt {
+    Stmt::new(
+        StmtKind::Assign {
+            target: Expr::new(ExprKind::Name(name.to_string()), span),
+            value: Expr::new(ExprKind::Bool(value), span),
+        },
+        span,
+    )
+}
+
+fn block_has_break(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match &s.kind {
+        StmtKind::Break => true,
+        StmtKind::If { body, orelse, .. } => block_has_break(body) || block_has_break(orelse),
+        _ => false,
+    })
+}
+
+fn guard_block(body: Vec<Stmt>, guard: &str) -> (Vec<Stmt>, bool) {
+    let mut out = Vec::with_capacity(body.len());
+    let mut contains = false;
+    let mut iter = body.into_iter();
+    while let Some(stmt) = iter.next() {
+        let span = stmt.span;
+        let (mut rewritten, c) = guard_stmt(stmt, guard);
+        out.append(&mut rewritten);
+        if c {
+            contains = true;
+            let rest: Vec<Stmt> = iter.collect();
+            if !rest.is_empty() {
+                let (rest_guarded, _) = guard_block(rest, guard);
+                out.push(guarded_if(guard, rest_guarded, span));
+            }
+            break;
+        }
+    }
+    (out, contains)
+}
+
+fn guard_stmt(stmt: Stmt, guard: &str) -> (Vec<Stmt>, bool) {
+    let span = stmt.span;
+    match stmt.kind {
+        StmtKind::Break => (vec![assign_bool(guard, true, span)], true),
+        StmtKind::If { test, body, orelse } => {
+            let (b, c1) = guard_block(body, guard);
+            let (o, c2) = guard_block(orelse, guard);
+            (
+                vec![Stmt::new(
+                    StmtKind::If {
+                        test,
+                        body: b,
+                        orelse: o,
+                    },
+                    span,
+                )],
+                c1 || c2,
+            )
+        }
+        other => (vec![Stmt::new(other, span)], false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_pylang::codegen::ast_to_source;
+    use autograph_pylang::parse_module;
+
+    fn convert(src: &str) -> String {
+        let m = parse_module(src).unwrap();
+        ast_to_source(&run(m, &mut PassContext::new()).unwrap())
+    }
+
+    #[test]
+    fn while_break_lowered() {
+        let out = convert("while c:\n    if done:\n        break\n    x = f(x)\n");
+        assert!(!out.contains("break\n"), "{out}");
+        assert!(out.contains("break__1 = False"));
+        assert!(out.contains("while not break__1 and c:"));
+        assert!(out.contains("break__1 = True"));
+        assert!(out.contains("if not break__1:"));
+    }
+
+    #[test]
+    fn for_break_masks_body() {
+        let out = convert("for i in xs:\n    if i > 3:\n        break\n    s = s + i\n");
+        assert!(!out.contains("break\n"));
+        assert!(out.contains("for i in xs:\n    if not break__1:"), "{out}");
+    }
+
+    #[test]
+    fn loop_without_break_untouched() {
+        let src = "while c:\n    x = x + 1\n";
+        assert_eq!(convert(src), src);
+    }
+
+    #[test]
+    fn nested_loop_breaks_independent() {
+        let out = convert(
+            "while a:\n    while b:\n        if p:\n            break\n        x = 1\n    if q:\n        break\n",
+        );
+        assert!(
+            out.contains("break__1") && out.contains("break__2"),
+            "{out}"
+        );
+        assert!(!out.contains("break\n"));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let m = parse_module("break\n").unwrap();
+        assert!(run(m, &mut PassContext::new()).is_err());
+    }
+
+    #[test]
+    fn break_semantics_shape() {
+        // beam-search-style loop: break directly at top level of body
+        let out = convert("while True:\n    x = step(x)\n    if stop(x):\n        break\n");
+        // nothing after the if, so no trailing guard branch needed
+        assert!(out.contains("while not break__1 and True:"));
+        assert!(out.matches("if not break__1:").count() == 0, "{out}");
+    }
+}

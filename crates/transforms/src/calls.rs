@@ -1,0 +1,176 @@
+//! Function-call conversion (§7.2): every user function call is overloaded
+//! with `ag.converted_call`, which at runtime decides to dynamically
+//! convert the target, call it as-is, or replace it (for built-ins):
+//!
+//! * `f(a, x)` → `ag.converted_call(f, a, x)`
+//! * `obj.meth(x)` → `ag.converted_call(obj.meth, x)`
+//! * `print(x)` → `ag.print_(x)`; `len`/`range`/`int`/`float` likewise
+//!   (Table 5's built-in conversions)
+//! * `tf.*` and `ag.*` calls pass through — the whitelisted module and the
+//!   operator namespace itself.
+
+use crate::context::{rewrite_exprs, PassContext};
+use crate::error::ConversionError;
+use autograph_pylang::ast::*;
+use autograph_pylang::Module;
+
+/// Built-in functions that convert to dedicated intrinsics.
+const BUILTINS: &[(&str, &str)] = &[
+    ("print", "print_"),
+    ("len", "len_"),
+    ("range", "range_"),
+    ("int", "int_"),
+    ("float", "float_"),
+    ("abs", "abs_"),
+    ("min", "min_"),
+    ("max", "max_"),
+];
+
+/// Run the call-conversion pass.
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for pipeline uniformity.
+pub fn run(module: Module, _ctx: &mut PassContext) -> Result<Module, ConversionError> {
+    let body = rewrite_exprs(module.body, &mut |expr| rewrite_call(expr));
+    Ok(Module { body })
+}
+
+fn rewrite_call(expr: Expr) -> Expr {
+    let span = expr.span;
+    match expr.kind {
+        ExprKind::Call { func, args, kwargs } => {
+            if is_whitelisted(&func) {
+                return Expr::new(ExprKind::Call { func, args, kwargs }, span);
+            }
+            if let ExprKind::Name(n) = &func.kind {
+                if let Some((_, intrinsic)) = BUILTINS.iter().find(|(b, _)| b == n) {
+                    return Expr::new(
+                        ExprKind::Call {
+                            func: Box::new(Expr::new(
+                                ExprKind::Attribute {
+                                    value: Box::new(Expr::new(ExprKind::Name("ag".into()), span)),
+                                    attr: (*intrinsic).to_string(),
+                                },
+                                span,
+                            )),
+                            args,
+                            kwargs,
+                        },
+                        span,
+                    );
+                }
+            }
+            let mut new_args = Vec::with_capacity(args.len() + 1);
+            new_args.push(*func);
+            new_args.extend(args);
+            Expr::new(
+                ExprKind::Call {
+                    func: Box::new(Expr::new(
+                        ExprKind::Attribute {
+                            value: Box::new(Expr::new(ExprKind::Name("ag".into()), span)),
+                            attr: "converted_call".into(),
+                        },
+                        span,
+                    )),
+                    args: new_args,
+                    kwargs,
+                },
+                span,
+            )
+        }
+        other => Expr::new(other, span),
+    }
+}
+
+/// Whitelisted call targets: the `ag` operator namespace and the `tf`
+/// module (the paper's whitelist "currently includes the TF module").
+fn is_whitelisted(func: &Expr) -> bool {
+    fn root_of(e: &Expr) -> Option<&str> {
+        match &e.kind {
+            ExprKind::Name(n) => Some(n),
+            ExprKind::Attribute { value, .. } => root_of(value),
+            _ => None,
+        }
+    }
+    // Only attribute paths rooted at the module names are whitelisted;
+    // a bare call to a variable named `tf` would still be converted.
+    match &func.kind {
+        ExprKind::Attribute { .. } => matches!(root_of(func), Some("tf") | Some("ag")),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_pylang::codegen::ast_to_source;
+    use autograph_pylang::parse_module;
+
+    fn convert(src: &str) -> String {
+        let m = parse_module(src).unwrap();
+        ast_to_source(&run(m, &mut PassContext::new()).unwrap())
+    }
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(
+            convert("def f(a, x):\n    return a(x)\n"),
+            "def f(a, x):\n    return ag.converted_call(a, x)\n"
+        );
+    }
+
+    #[test]
+    fn method_calls_converted() {
+        assert_eq!(
+            convert("y = obj.step(a, b)\n"),
+            "y = ag.converted_call(obj.step, a, b)\n"
+        );
+    }
+
+    #[test]
+    fn tf_and_ag_whitelisted() {
+        let src = "y = tf.matmul(a, b)\nz = ag.stack(l)\n";
+        assert_eq!(convert(src), src);
+    }
+
+    #[test]
+    fn builtins_replaced() {
+        assert_eq!(convert("print(x)\n"), "ag.print_(x)\n");
+        assert_eq!(convert("n = len(xs)\n"), "n = ag.len_(xs)\n");
+        assert_eq!(
+            convert("for i in range(10):\n    pass\n"),
+            "for i in ag.range_(10):\n    pass\n"
+        );
+        assert_eq!(convert("v = float(i)\n"), "v = ag.float_(i)\n");
+    }
+
+    #[test]
+    fn kwargs_preserved() {
+        assert_eq!(
+            convert("y = f(a, k=2)\n"),
+            "y = ag.converted_call(f, a, k=2)\n"
+        );
+    }
+
+    #[test]
+    fn nested_calls_converted_inside_out() {
+        assert_eq!(
+            convert("y = f(g(x))\n"),
+            "y = ag.converted_call(f, ag.converted_call(g, x))\n"
+        );
+    }
+
+    #[test]
+    fn call_of_call_result() {
+        assert_eq!(
+            convert("y = h(1)(2)\n"),
+            "y = ag.converted_call(ag.converted_call(h, 1), 2)\n"
+        );
+    }
+
+    #[test]
+    fn variable_named_tf_not_whitelisted() {
+        assert_eq!(convert("y = tf(x)\n"), "y = ag.converted_call(tf, x)\n");
+    }
+}

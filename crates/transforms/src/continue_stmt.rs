@@ -1,0 +1,259 @@
+//! Lowers `continue` statements (§7.2): each loop body containing a
+//! `continue` gains a guard variable; the `continue` becomes `guard = True`
+//! and every statement that could execute after it is wrapped in
+//! `if not guard:`. After this pass no `continue` remains anywhere.
+//!
+//! ```text
+//! while c:                     while c:
+//!     if skip:                     continue__1 = False
+//!         continue        →        if skip:
+//!     x = x + 1                        continue__1 = True
+//!                                  if not continue__1:
+//!                                      x = x + 1
+//! ```
+
+use crate::context::PassContext;
+use crate::error::ConversionError;
+use autograph_pylang::ast::*;
+use autograph_pylang::{Module, Span};
+
+/// Run the continue-lowering pass over a module.
+///
+/// # Errors
+///
+/// Returns [`ConversionError`] for a `continue` outside any loop.
+pub fn run(module: Module, ctx: &mut PassContext) -> Result<Module, ConversionError> {
+    let body = process_block(module.body, ctx, false)?;
+    Ok(Module { body })
+}
+
+/// Recursively process a statement block; `in_loop` tracks whether a bare
+/// `continue` here would be legal.
+fn process_block(
+    body: Vec<Stmt>,
+    ctx: &mut PassContext,
+    in_loop: bool,
+) -> Result<Vec<Stmt>, ConversionError> {
+    let mut out = Vec::with_capacity(body.len());
+    for stmt in body {
+        let span = stmt.span;
+        let kind = match stmt.kind {
+            StmtKind::FunctionDef {
+                name,
+                params,
+                body,
+                decorators,
+            } => StmtKind::FunctionDef {
+                name,
+                params,
+                body: process_block(body, ctx, false)?,
+                decorators,
+            },
+            StmtKind::If { test, body, orelse } => StmtKind::If {
+                test,
+                body: process_block(body, ctx, in_loop)?,
+                orelse: process_block(orelse, ctx, in_loop)?,
+            },
+            StmtKind::While { test, body } => {
+                let body = process_block(body, ctx, true)?;
+                StmtKind::While {
+                    test,
+                    body: lower_loop_body(body, ctx, span),
+                }
+            }
+            StmtKind::For { target, iter, body } => {
+                let body = process_block(body, ctx, true)?;
+                StmtKind::For {
+                    target,
+                    iter,
+                    body: lower_loop_body(body, ctx, span),
+                }
+            }
+            StmtKind::Continue if !in_loop => {
+                return Err(ConversionError::new("'continue' outside of a loop", span));
+            }
+            other => other,
+        };
+        out.push(Stmt::new(kind, span));
+    }
+    Ok(out)
+}
+
+/// If `body` contains a continue at this loop level, rewrite it with a
+/// guard variable.
+fn lower_loop_body(body: Vec<Stmt>, ctx: &mut PassContext, loop_span: Span) -> Vec<Stmt> {
+    if !block_has_continue(&body) {
+        return body;
+    }
+    let guard = ctx.gensym("continue");
+    let (mut guarded, _) = guard_block(body, &guard);
+    let mut new_body = vec![Stmt::new(
+        StmtKind::Assign {
+            target: Expr::new(ExprKind::Name(guard.clone()), loop_span),
+            value: Expr::new(ExprKind::Bool(false), loop_span),
+        },
+        loop_span,
+    )];
+    new_body.append(&mut guarded);
+    new_body
+}
+
+/// Does the block contain `continue` at this loop's level (not inside
+/// nested loops or functions)?
+fn block_has_continue(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match &s.kind {
+        StmtKind::Continue => true,
+        StmtKind::If { body, orelse, .. } => block_has_continue(body) || block_has_continue(orelse),
+        _ => false,
+    })
+}
+
+/// Rewrite a block: `continue` → `guard = True`; statements following a
+/// possible continue are wrapped in `if not guard:`. Returns the new block
+/// and whether it may set the guard.
+fn guard_block(body: Vec<Stmt>, guard: &str) -> (Vec<Stmt>, bool) {
+    let mut out = Vec::with_capacity(body.len());
+    let mut contains = false;
+    let mut iter = body.into_iter();
+    while let Some(stmt) = iter.next() {
+        let span = stmt.span;
+        let (mut rewritten, c) = guard_stmt(stmt, guard);
+        out.append(&mut rewritten);
+        if c {
+            contains = true;
+            let rest: Vec<Stmt> = iter.collect();
+            if !rest.is_empty() {
+                let (rest_guarded, _) = guard_block(rest, guard);
+                out.push(guarded_if(guard, rest_guarded, span));
+            }
+            break;
+        }
+    }
+    (out, contains)
+}
+
+fn guard_stmt(stmt: Stmt, guard: &str) -> (Vec<Stmt>, bool) {
+    let span = stmt.span;
+    match stmt.kind {
+        StmtKind::Continue => (
+            vec![Stmt::new(
+                StmtKind::Assign {
+                    target: Expr::new(ExprKind::Name(guard.to_string()), span),
+                    value: Expr::new(ExprKind::Bool(true), span),
+                },
+                span,
+            )],
+            true,
+        ),
+        StmtKind::If { test, body, orelse } => {
+            let (b, c1) = guard_block(body, guard);
+            let (o, c2) = guard_block(orelse, guard);
+            (
+                vec![Stmt::new(
+                    StmtKind::If {
+                        test,
+                        body: b,
+                        orelse: o,
+                    },
+                    span,
+                )],
+                c1 || c2,
+            )
+        }
+        // Nested loops keep their own continues (already lowered).
+        other => (vec![Stmt::new(other, span)], false),
+    }
+}
+
+/// `if not guard: body`
+pub(crate) fn guarded_if(guard: &str, body: Vec<Stmt>, span: Span) -> Stmt {
+    Stmt::new(
+        StmtKind::If {
+            test: Expr::new(
+                ExprKind::UnaryOp {
+                    op: UnaryOp::Not,
+                    operand: Box::new(Expr::new(ExprKind::Name(guard.to_string()), span)),
+                },
+                span,
+            ),
+            body,
+            orelse: Vec::new(),
+        },
+        span,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_pylang::codegen::ast_to_source;
+    use autograph_pylang::parse_module;
+
+    fn convert(src: &str) -> String {
+        let m = parse_module(src).unwrap();
+        let mut ctx = PassContext::new();
+        ast_to_source(&run(m, &mut ctx).unwrap())
+    }
+
+    #[test]
+    fn simple_continue_lowered() {
+        let out = convert("while c:\n    if skip:\n        continue\n    x = x + 1\n");
+        assert!(
+            !out.contains("continue\n"),
+            "continue should be gone:\n{out}"
+        );
+        assert!(out.contains("continue__1 = False"));
+        assert!(out.contains("continue__1 = True"));
+        assert!(out.contains("if not continue__1:"));
+        assert!(out.contains("x = x + 1"));
+    }
+
+    #[test]
+    fn loop_without_continue_untouched() {
+        let src = "while c:\n    x = x + 1\n";
+        assert_eq!(convert(src), src);
+    }
+
+    #[test]
+    fn trailing_continue_adds_no_guard_branch() {
+        let out = convert("for i in xs:\n    continue\n");
+        assert!(out.contains("continue__1 = True"));
+        assert!(!out.contains("if not continue__1"), "{out}");
+    }
+
+    #[test]
+    fn nested_loops_get_separate_guards() {
+        let out = convert(
+            "while a:\n    for i in xs:\n        if p:\n            continue\n        y = 1\n    if q:\n        continue\n    z = 2\n",
+        );
+        assert!(
+            out.contains("continue__1") && out.contains("continue__2"),
+            "{out}"
+        );
+        assert!(!out.contains("continue\n"));
+    }
+
+    #[test]
+    fn continue_outside_loop_rejected() {
+        let m = parse_module("def f():\n    continue\n").unwrap();
+        let mut ctx = PassContext::new();
+        let err = run(m, &mut ctx).unwrap_err();
+        assert!(err.to_string().contains("outside of a loop"));
+        assert_eq!(err.span.line, 2);
+    }
+
+    #[test]
+    fn continue_in_nested_function_inside_loop_rejected() {
+        let m = parse_module("while c:\n    def g():\n        continue\n").unwrap();
+        assert!(run(m, &mut PassContext::new()).is_err());
+    }
+
+    #[test]
+    fn statements_after_if_guarded() {
+        let out = convert("while c:\n    if p:\n        continue\n    a = 1\n    b = 2\n");
+        // a and b must both be inside the guard
+        let guard_pos = out.find("if not continue__1:").unwrap();
+        assert!(out.find("a = 1").unwrap() > guard_pos);
+        assert!(out.find("b = 2").unwrap() > guard_pos);
+    }
+}

@@ -1,0 +1,117 @@
+//! Directive identification (§7.2): recognizes calls to AutoGraph
+//! compilation directives (`ag.set_element_type`, `ag.set_loop_options`),
+//! validates their arity, and rejects constructs the converter must not
+//! accept (`global` / `nonlocal`, per Table 6).
+//!
+//! This pass runs first; it leaves directives in place for the runtime
+//! (which applies `set_element_type` to staged lists) but guarantees later
+//! passes see only well-formed ones.
+
+use crate::context::PassContext;
+use crate::error::ConversionError;
+use autograph_pylang::ast::*;
+use autograph_pylang::Module;
+
+/// Known directives and their (min, max) positional arity.
+const DIRECTIVES: &[(&str, usize, usize)] =
+    &[("set_element_type", 2, 2), ("set_loop_options", 0, 3)];
+
+/// Run the directives pass.
+///
+/// # Errors
+///
+/// Returns [`ConversionError`] for malformed directives or for
+/// `global`/`nonlocal` statements.
+pub fn run(module: Module, _ctx: &mut PassContext) -> Result<Module, ConversionError> {
+    let body = crate::context::rewrite_bodies_bottom_up(module.body, &mut |stmts| {
+        for s in &stmts {
+            check_stmt(s)?;
+        }
+        Ok(stmts)
+    })?;
+    Ok(Module { body })
+}
+
+fn check_stmt(stmt: &Stmt) -> Result<(), ConversionError> {
+    match &stmt.kind {
+        StmtKind::Global(_) => Err(ConversionError::new(
+            "'global' is not allowed in converted code (Table 6)",
+            stmt.span,
+        )),
+        StmtKind::Nonlocal(_) => Err(ConversionError::new(
+            "'nonlocal' is not allowed in converted code (Table 6)",
+            stmt.span,
+        )),
+        StmtKind::ExprStmt(e) => check_directive(e),
+        _ => Ok(()),
+    }
+}
+
+fn check_directive(expr: &Expr) -> Result<(), ConversionError> {
+    if let ExprKind::Call { func, args, .. } = &expr.kind {
+        if let ExprKind::Attribute { value, attr } = &func.kind {
+            if matches!(&value.kind, ExprKind::Name(n) if n == "ag") {
+                if let Some((name, lo, hi)) = DIRECTIVES.iter().find(|(d, _, _)| d == attr).copied()
+                {
+                    if args.len() < lo || args.len() > hi {
+                        return Err(ConversionError::new(
+                            format!(
+                                "directive ag.{name} expects {lo}..={hi} arguments, got {}",
+                                args.len()
+                            ),
+                            expr.span,
+                        ));
+                    }
+                    // set_element_type's first argument must be a symbol so
+                    // the runtime can associate the annotation with a list.
+                    if name == "set_element_type" && !matches!(args[0].kind, ExprKind::Name(_)) {
+                        return Err(ConversionError::new(
+                            "ag.set_element_type's first argument must be a variable name",
+                            expr.span,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_pylang::parse_module;
+
+    fn run_src(src: &str) -> Result<Module, ConversionError> {
+        run(parse_module(src).unwrap(), &mut PassContext::new())
+    }
+
+    #[test]
+    fn valid_directives_pass() {
+        assert!(run_src("ag.set_element_type(outputs, tf.float32)\n").is_ok());
+        assert!(run_src("ag.set_loop_options()\n").is_ok());
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        assert!(run_src("ag.set_element_type(outputs)\n").is_err());
+        assert!(run_src("ag.set_element_type(a, b, c)\n").is_err());
+    }
+
+    #[test]
+    fn non_symbol_target_rejected() {
+        assert!(run_src("ag.set_element_type(f(), tf.float32)\n").is_err());
+    }
+
+    #[test]
+    fn global_nonlocal_rejected_with_location() {
+        let err = run_src("def f():\n    global x\n").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert!(run_src("def f():\n    nonlocal y\n").is_err());
+    }
+
+    #[test]
+    fn unrelated_ag_calls_pass() {
+        assert!(run_src("y = ag.stack(l)\n").is_ok());
+    }
+}

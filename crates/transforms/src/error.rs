@@ -1,0 +1,70 @@
+//! Conversion errors (Appendix B: "conversion errors ... must indicate the
+//! location in the converted code of the idiom that caused the error").
+
+use autograph_pylang::Span;
+use std::fmt;
+
+/// An error raised during source-code transformation: the code is legal
+/// PyLite but unsupported by AutoGraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversionError {
+    /// What went wrong, phrased so the user can remedy it.
+    pub message: String,
+    /// The location of the offending idiom in the user's original source.
+    pub span: Span,
+    /// Optional excerpt of the original source line.
+    pub source_line: Option<String>,
+}
+
+impl ConversionError {
+    /// Construct an error at a span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ConversionError {
+            message: message.into(),
+            span,
+            source_line: None,
+        }
+    }
+
+    /// Attach the user's source text so messages can quote the line.
+    pub fn with_source(mut self, source: &str) -> Self {
+        if !self.span.is_synthetic() {
+            if let Some(line) = source.lines().nth(self.span.line as usize - 1) {
+                self.source_line = Some(line.trim_end().to_string());
+            }
+        }
+        self
+    }
+}
+
+impl fmt::Display for ConversionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conversion error at {}: {}", self.span, self.message)?;
+        if let Some(line) = &self.source_line {
+            write!(f, "\n    {} | {}", self.span.line, line)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ConversionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_excerpt() {
+        let e = ConversionError::new("yield is not supported", Span::new(2, 5))
+            .with_source("def f():\n    yield 1\n");
+        let s = e.to_string();
+        assert!(s.contains("2:5"));
+        assert!(s.contains("yield 1"));
+    }
+
+    #[test]
+    fn synthetic_span_has_no_excerpt() {
+        let e = ConversionError::new("oops", Span::synthetic()).with_source("x = 1\n");
+        assert!(e.source_line.is_none());
+    }
+}

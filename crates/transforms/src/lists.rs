@@ -1,0 +1,235 @@
+//! List idiom conversion (§7.2): `append` and `pop` calls are overloaded
+//! with staged-aware intrinsics that use *value semantics*, so the same
+//! code works on Python lists (eager) and on tensor lists (staged):
+//!
+//! * `l.append(x)` as a statement → `l = ag.list_append(l, x)`
+//! * `v = l.pop()` → `(l, v) = ag.list_pop(l)`
+//! * `l.pop()` as a statement → `(l, _) = ag.list_pop(l)` (fresh name)
+//!
+//! `ag.stack(l)` — the extra array idiom the paper adds — is already a
+//! direct intrinsic call and passes through untouched.
+
+use crate::context::{ag_call, PassContext};
+use crate::error::ConversionError;
+use autograph_pylang::ast::*;
+use autograph_pylang::{Module, Span};
+
+/// Run the list-conversion pass.
+///
+/// # Errors
+///
+/// Returns [`ConversionError`] when `append`/`pop` results are used in a
+/// position the value-semantics rewrite cannot express (e.g. nested deep in
+/// an expression).
+pub fn run(module: Module, ctx: &mut PassContext) -> Result<Module, ConversionError> {
+    let body = crate::context::rewrite_bodies_bottom_up(module.body, &mut |stmts| {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            out.extend(rewrite_stmt(s, ctx)?);
+        }
+        Ok(out)
+    })?;
+    Ok(Module { body })
+}
+
+/// Match `recv.append(arg)` or `recv.pop()` where `recv` is a simple name.
+fn match_list_call(expr: &Expr) -> Option<(&str, &str, &[Expr], Span)> {
+    if let ExprKind::Call { func, args, kwargs } = &expr.kind {
+        if !kwargs.is_empty() {
+            return None;
+        }
+        if let ExprKind::Attribute { value, attr } = &func.kind {
+            if let ExprKind::Name(recv) = &value.kind {
+                if attr == "append" && args.len() == 1 {
+                    return Some((recv, "append", args, expr.span));
+                }
+                if attr == "pop" && args.is_empty() {
+                    return Some((recv, "pop", args, expr.span));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn rewrite_stmt(stmt: Stmt, ctx: &mut PassContext) -> Result<Vec<Stmt>, ConversionError> {
+    let span = stmt.span;
+    match stmt.kind {
+        // l.append(x)  =>  l = ag.list_append(l, x)
+        StmtKind::ExprStmt(e) => {
+            if let Some((recv, which, args, cspan)) = match_list_call(&e) {
+                match which {
+                    "append" => {
+                        return Ok(vec![Stmt::new(
+                            StmtKind::Assign {
+                                target: Expr::new(ExprKind::Name(recv.to_string()), cspan),
+                                value: ag_call(
+                                    "list_append",
+                                    vec![
+                                        Expr::new(ExprKind::Name(recv.to_string()), cspan),
+                                        args[0].clone(),
+                                    ],
+                                    cspan,
+                                ),
+                            },
+                            span,
+                        )]);
+                    }
+                    "pop" => {
+                        let tmp = ctx.gensym("popval");
+                        return Ok(vec![Stmt::new(
+                            StmtKind::Assign {
+                                target: Expr::new(
+                                    ExprKind::Tuple(vec![
+                                        Expr::new(ExprKind::Name(recv.to_string()), cspan),
+                                        Expr::new(ExprKind::Name(tmp), cspan),
+                                    ]),
+                                    cspan,
+                                ),
+                                value: ag_call(
+                                    "list_pop",
+                                    vec![Expr::new(ExprKind::Name(recv.to_string()), cspan)],
+                                    cspan,
+                                ),
+                            },
+                            span,
+                        )]);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Ok(vec![Stmt::new(StmtKind::ExprStmt(e), span)])
+        }
+        // v = l.pop()  =>  (l, v) = ag.list_pop(l)
+        StmtKind::Assign { target, value } => {
+            if let Some((recv, "pop", _, cspan)) = match_list_call(&value) {
+                if matches!(target.kind, ExprKind::Name(_)) {
+                    return Ok(vec![Stmt::new(
+                        StmtKind::Assign {
+                            target: Expr::new(
+                                ExprKind::Tuple(vec![
+                                    Expr::new(ExprKind::Name(recv.to_string()), cspan),
+                                    target,
+                                ]),
+                                cspan,
+                            ),
+                            value: ag_call(
+                                "list_pop",
+                                vec![Expr::new(ExprKind::Name(recv.to_string()), cspan)],
+                                cspan,
+                            ),
+                        },
+                        span,
+                    )]);
+                }
+            }
+            // append/pop buried in an arbitrary expression cannot get value
+            // semantics; report it like the paper's conversion errors.
+            if contains_list_call(&value) {
+                return Err(ConversionError::new(
+                    "list append/pop results can only be used as a statement or simple assignment",
+                    span,
+                ));
+            }
+            Ok(vec![Stmt::new(StmtKind::Assign { target, value }, span)])
+        }
+        other => Ok(vec![Stmt::new(other, span)]),
+    }
+}
+
+fn contains_list_call(expr: &Expr) -> bool {
+    if match_list_call(expr).is_some() {
+        return true;
+    }
+    match &expr.kind {
+        ExprKind::Call { func, args, kwargs } => {
+            contains_list_call(func)
+                || args.iter().any(contains_list_call)
+                || kwargs.iter().any(|(_, v)| contains_list_call(v))
+        }
+        ExprKind::BinOp { left, right, .. } => {
+            contains_list_call(left) || contains_list_call(right)
+        }
+        ExprKind::UnaryOp { operand, .. } => contains_list_call(operand),
+        ExprKind::BoolOp { values, .. } => values.iter().any(contains_list_call),
+        ExprKind::Compare {
+            left, comparators, ..
+        } => contains_list_call(left) || comparators.iter().any(contains_list_call),
+        ExprKind::IfExp { test, body, orelse } => {
+            contains_list_call(test) || contains_list_call(body) || contains_list_call(orelse)
+        }
+        ExprKind::List(items) | ExprKind::Tuple(items) => items.iter().any(contains_list_call),
+        ExprKind::Attribute { value, .. } => contains_list_call(value),
+        ExprKind::Subscript { value, index } => {
+            contains_list_call(value)
+                || match &**index {
+                    Index::Single(e) => contains_list_call(e),
+                    Index::Slice { lower, upper } => {
+                        lower.as_ref().map(contains_list_call).unwrap_or(false)
+                            || upper.as_ref().map(contains_list_call).unwrap_or(false)
+                    }
+                }
+        }
+        ExprKind::Lambda { body, .. } => contains_list_call(body),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_pylang::codegen::ast_to_source;
+    use autograph_pylang::parse_module;
+
+    fn convert(src: &str) -> String {
+        let m = parse_module(src).unwrap();
+        ast_to_source(&run(m, &mut PassContext::new()).unwrap())
+    }
+
+    #[test]
+    fn append_statement() {
+        assert_eq!(
+            convert("outputs.append(output)\n"),
+            "outputs = ag.list_append(outputs, output)\n"
+        );
+    }
+
+    #[test]
+    fn pop_assignment() {
+        assert_eq!(convert("v = l.pop()\n"), "(l, v) = ag.list_pop(l)\n");
+    }
+
+    #[test]
+    fn pop_statement_discards() {
+        let out = convert("l.pop()\n");
+        assert!(out.contains("(l, popval__1) = ag.list_pop(l)"), "{out}");
+    }
+
+    #[test]
+    fn append_in_loop() {
+        let out = convert("for i in xs:\n    acc.append(i * 2)\n");
+        assert!(out.contains("acc = ag.list_append(acc, i * 2)"));
+    }
+
+    #[test]
+    fn unrelated_methods_untouched() {
+        let src = "x = obj.step(1)\nobj.pop(3)\n";
+        assert_eq!(convert(src), src);
+    }
+
+    #[test]
+    fn nested_append_rejected() {
+        let m = parse_module("y = g(l.append(x))\n").unwrap();
+        let err = run(m, &mut PassContext::new()).unwrap_err();
+        assert!(
+            err.to_string().contains("value semantics") || err.to_string().contains("statement")
+        );
+    }
+
+    #[test]
+    fn pop_on_attribute_receiver_untouched() {
+        // only simple-name receivers are overloaded
+        let src = "v = a.b.pop()\n";
+        assert_eq!(convert(src), src);
+    }
+}

@@ -1,0 +1,131 @@
+//! Slice conversion (§7.2). Slice *writes* mutate their target in Python;
+//! TensorFlow requires value semantics, so `x[i] = y` is rewritten in-place
+//! to `x = ag.setitem(x, i, y)`. Slice reads are overloadable through the
+//! runtime's dynamic dispatch and pass through mechanically.
+//!
+//! This pass also desugars augmented assignment (`x += v` → `x = x + v`,
+//! `x[i] += v` → `x[i] = x[i] + v` → setitem form) so later passes only see
+//! plain assignments.
+
+use crate::context::{ag_call, PassContext};
+use crate::error::ConversionError;
+use autograph_pylang::ast::*;
+use autograph_pylang::Module;
+
+/// Run the slice/augmented-assignment conversion pass.
+///
+/// # Errors
+///
+/// Returns [`ConversionError`] for slice-range writes (`x[a:b] = v`),
+/// which neither Python-value nor staged semantics support here.
+pub fn run(module: Module, _ctx: &mut PassContext) -> Result<Module, ConversionError> {
+    let body = crate::context::rewrite_bodies_bottom_up(module.body, &mut |stmts| {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            out.push(rewrite_stmt(s)?);
+        }
+        Ok(out)
+    })?;
+    Ok(Module { body })
+}
+
+fn rewrite_stmt(stmt: Stmt) -> Result<Stmt, ConversionError> {
+    let span = stmt.span;
+    match stmt.kind {
+        // Desugar aug-assign first so `x[i] += v` becomes a subscript write.
+        StmtKind::AugAssign { target, op, value } => {
+            let read = target.clone();
+            let sum = Expr::new(
+                ExprKind::BinOp {
+                    op,
+                    left: Box::new(read),
+                    right: Box::new(value),
+                },
+                span,
+            );
+            rewrite_stmt(Stmt::new(StmtKind::Assign { target, value: sum }, span))
+        }
+        StmtKind::Assign { target, value } => match target.kind {
+            ExprKind::Subscript { value: base, index } => {
+                let idx = match *index {
+                    Index::Single(e) => e,
+                    Index::Slice { .. } => {
+                        return Err(ConversionError::new(
+                            "slice-range assignment (x[a:b] = v) is not supported; assign whole slices by value instead",
+                            span,
+                        ));
+                    }
+                };
+                match &base.kind {
+                    ExprKind::Name(_) | ExprKind::Attribute { .. } => {
+                        let setitem = ag_call("setitem", vec![(*base).clone(), idx, value], span);
+                        Ok(Stmt::new(
+                            StmtKind::Assign {
+                                target: *base,
+                                value: setitem,
+                            },
+                            span,
+                        ))
+                    }
+                    _ => Err(ConversionError::new(
+                        "subscript assignment target must be a name or attribute",
+                        span,
+                    )),
+                }
+            }
+            _ => Ok(Stmt::new(StmtKind::Assign { target, value }, span)),
+        },
+        other => Ok(Stmt::new(other, span)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_pylang::codegen::ast_to_source;
+    use autograph_pylang::parse_module;
+
+    fn convert(src: &str) -> String {
+        let m = parse_module(src).unwrap();
+        ast_to_source(&run(m, &mut PassContext::new()).unwrap())
+    }
+
+    #[test]
+    fn setitem_rewrite() {
+        assert_eq!(convert("x[i] = y\n"), "x = ag.setitem(x, i, y)\n");
+    }
+
+    #[test]
+    fn aug_assign_desugared() {
+        assert_eq!(convert("x += 1\n"), "x = x + 1\n");
+        assert_eq!(convert("x *= 2 + y\n"), "x = x * (2 + y)\n");
+    }
+
+    #[test]
+    fn subscript_aug_assign() {
+        assert_eq!(convert("x[i] += v\n"), "x = ag.setitem(x, i, x[i] + v)\n");
+    }
+
+    #[test]
+    fn attribute_base_supported() {
+        assert_eq!(convert("a.b[0] = v\n"), "a.b = ag.setitem(a.b, 0, v)\n");
+    }
+
+    #[test]
+    fn slice_range_write_rejected() {
+        let m = parse_module("x[1:3] = v\n").unwrap();
+        assert!(run(m, &mut PassContext::new()).is_err());
+    }
+
+    #[test]
+    fn slice_reads_untouched() {
+        let src = "y = x[1:3]\nz = x[i]\n";
+        assert_eq!(convert(src), src);
+    }
+
+    #[test]
+    fn nested_bodies_processed() {
+        let out = convert("def f(x):\n    while c:\n        x[0] += 1\n    return x\n");
+        assert!(out.contains("x = ag.setitem(x, 0, x[0] + 1)"));
+    }
+}

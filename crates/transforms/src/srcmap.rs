@@ -1,0 +1,171 @@
+//! Source-map construction (Appendix B).
+//!
+//! Two mechanisms keep errors attributable to user code:
+//!
+//! 1. **Span inheritance** — every pass stamps synthesized nodes with the
+//!    span of the user construct they replaced, so the interpreter's
+//!    staging/runtime errors carry original locations without any lookup.
+//! 2. **Generated-source maps** — when the converted module is rendered
+//!    back to text (`ast_to_source`) for inspection, [`SourceMap::build`]
+//!    records which original line each generated line came from, so stack
+//!    traces over generated code can be rewritten to point at user files.
+
+use autograph_pylang::ast::{Module, Stmt, StmtKind};
+use autograph_pylang::codegen::stmt_to_source;
+use autograph_pylang::Span;
+
+/// Maps lines of generated source back to original-source spans.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    entries: Vec<(u32, Span)>, // (generated line, original span)
+}
+
+impl SourceMap {
+    /// Build a map for a converted module, mirroring the deterministic
+    /// line layout of [`autograph_pylang::codegen::ast_to_source`].
+    pub fn build(module: &Module) -> SourceMap {
+        let mut map = SourceMap::default();
+        let mut line = 1u32;
+        for stmt in &module.body {
+            record_stmt(stmt, &mut line, &mut map);
+        }
+        map
+    }
+
+    /// The original span for a generated line, if that line came from user
+    /// code (synthesized-only lines return the nearest preceding user
+    /// span, matching how tracebacks attribute generated statements to the
+    /// construct that produced them).
+    pub fn lookup(&self, generated_line: u32) -> Option<Span> {
+        let mut best: Option<Span> = None;
+        for (line, span) in &self.entries {
+            if *line > generated_line {
+                break;
+            }
+            if !span.is_synthetic() {
+                best = Some(*span);
+            }
+            if *line == generated_line && !span.is_synthetic() {
+                return Some(*span);
+            }
+        }
+        best
+    }
+
+    /// Number of mapped lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rewrite a "generated line N" reference in an error message into an
+    /// original-source location (the Appendix B error-rewriting step).
+    pub fn rewrite_location(&self, generated_line: u32) -> String {
+        match self.lookup(generated_line) {
+            Some(span) => format!("original source {span}"),
+            None => format!("generated code line {generated_line}"),
+        }
+    }
+}
+
+fn record_stmt(stmt: &Stmt, line: &mut u32, map: &mut SourceMap) {
+    map.entries.push((*line, stmt.span));
+    match &stmt.kind {
+        StmtKind::FunctionDef {
+            body, decorators, ..
+        } => {
+            // decorators + def line
+            *line += decorators.len() as u32 + 1;
+            for s in body {
+                record_stmt(s, line, map);
+            }
+        }
+        StmtKind::If { body, orelse, .. } => {
+            *line += 1;
+            for s in body {
+                record_stmt(s, line, map);
+            }
+            if !orelse.is_empty() {
+                *line += 1; // else:
+                for s in orelse {
+                    record_stmt(s, line, map);
+                }
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+            *line += 1;
+            for s in body {
+                record_stmt(s, line, map);
+            }
+        }
+        _ => {
+            // simple statements render as exactly the number of lines
+            // stmt_to_source produces (normally 1)
+            *line += stmt_to_source(stmt).lines().count() as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograph_pylang::codegen::ast_to_source;
+    use autograph_pylang::parse_module;
+
+    #[test]
+    fn identity_map_for_unconverted_code() {
+        let src = "x = 1\ny = 2\nz = x + y\n";
+        let m = parse_module(src).unwrap();
+        let map = SourceMap::build(&m);
+        for line in 1..=3u32 {
+            assert_eq!(map.lookup(line).unwrap().line, line);
+        }
+    }
+
+    #[test]
+    fn nested_lines_tracked() {
+        let src = "def f(x):\n    if x:\n        y = 1\n    return x\n";
+        let m = parse_module(src).unwrap();
+        let rendered = ast_to_source(&m);
+        assert_eq!(rendered, src, "layout assumption");
+        let map = SourceMap::build(&m);
+        assert_eq!(map.lookup(3).unwrap().line, 3); // y = 1
+        assert_eq!(map.lookup(4).unwrap().line, 4); // return
+    }
+
+    #[test]
+    fn converted_code_lines_point_at_original() {
+        let src = "def f(x):\n    if x > 0:\n        x = x * x\n    return x\n";
+        let m = parse_module(src).unwrap();
+        let conv =
+            crate::pipeline::convert_module(m, &crate::pipeline::ConversionConfig::default())
+                .unwrap();
+        let rendered = ast_to_source(&conv.module);
+        let map = &conv.source_map;
+        // Every generated line should map to some original line 1..=4.
+        for (i, _) in rendered.lines().enumerate() {
+            if let Some(span) = map.lookup(i as u32 + 1) {
+                assert!((1..=4).contains(&span.line), "line {} -> {span}", i + 1);
+            }
+        }
+        // The ag.if_stmt call line maps to the original `if` at line 2.
+        let call_line = rendered
+            .lines()
+            .position(|l| l.contains("ag.if_stmt"))
+            .unwrap() as u32
+            + 1;
+        assert_eq!(map.lookup(call_line).unwrap().line, 2);
+    }
+
+    #[test]
+    fn rewrite_location_message() {
+        let m = parse_module("x = 1\n").unwrap();
+        let map = SourceMap::build(&m);
+        assert!(map.rewrite_location(1).contains("original source 1:1"));
+        assert!(!map.is_empty());
+    }
+}

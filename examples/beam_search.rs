@@ -1,0 +1,66 @@
+//! Beam search (Appendix D.1): idiomatic `while True:` + data-dependent
+//! `break`, lowered by the break pass and staged into a single in-graph
+//! loop that stops early when all beams emit EOS.
+//!
+//! ```sh
+//! cargo run --release --example beam_search
+//! ```
+
+use autograph::prelude::*;
+use autograph_models::beam;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = beam::BeamConfig {
+        beam: 4,
+        vocab: 50,
+        hidden: 16,
+        eos: 0,
+    };
+    let weights = beam::BeamWeights::new(&cfg, 4);
+    let init = beam::init_state(&cfg, 9);
+
+    println!("--- the imperative beam search (two breaks) ---");
+    println!("{}", beam::BEAM_SRC);
+
+    // What conversion does to the breaks:
+    let converted = convert_source(beam::BEAM_SRC)?;
+    let loop_line = converted
+        .lines()
+        .find(|l| l.contains("ag.while_stmt"))
+        .unwrap_or("");
+    println!("--- after conversion, the loop is functional ---");
+    println!("... {} ...\n", loop_line.trim());
+
+    // Eager run
+    let mut rt = beam::runtime(&cfg, false)?;
+    let (tokens, scores) = beam::run_eager(&mut rt, &weights, &init, 12)?;
+    println!(
+        "eager:  {} steps, best score {:.3}",
+        tokens.shape()[0],
+        scores.as_f32()?[0]
+    );
+
+    // Staged run
+    let mut rt2 = beam::runtime(&cfg, true)?;
+    let staged = beam::stage(&mut rt2, &weights)?;
+    let mut sess = Session::new(staged.graph);
+    let out = sess.run(
+        &[
+            ("init_state", init.clone()),
+            ("max_len", Tensor::scalar_i64(12)),
+        ],
+        &staged.outputs,
+    )?;
+    println!(
+        "staged: {} steps, best score {:.3}",
+        out[0].shape()[0],
+        out[1].as_f32()?[0]
+    );
+    assert_eq!(out[0].as_i64()?, tokens.as_i64()?);
+    println!("\ntoken matrix (steps x beams):");
+    for step in 0..out[0].shape()[0] {
+        let row = out[0].index_axis0(step as i64)?;
+        println!("  step {step}: {:?}", row.as_i64()?);
+    }
+    Ok(())
+}

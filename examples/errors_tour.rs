@@ -1,0 +1,76 @@
+//! A tour of AutoGraph's three error classes (Appendix B) and how each is
+//! attributed to the user's original source.
+//!
+//! ```sh
+//! cargo run --release --example errors_tour
+//! ```
+
+use autograph::prelude::*;
+
+fn main() {
+    println!("=== 1. conversion errors (unsupported idiom, legal PyLite) ===\n");
+    let src = "\
+def f(x):
+    total = 0
+    global counter
+    return total
+";
+    println!("{src}");
+    match autograph::convert_source(src) {
+        Err(e) => println!("-> {}\n", e.with_source(src)),
+        Ok(_) => unreachable!("global must be rejected"),
+    }
+
+    println!("=== 2. staging errors (detected while building the graph) ===\n");
+    // 2a. a branch that doesn't define a value on every path
+    let src = "\
+def f(x):
+    if x > 0:
+        y = x * 2.0
+    return y
+";
+    println!("{src}");
+    let mut rt = Runtime::load(src, true).expect("load");
+    match rt.stage_to_graph("f", vec![GraphArg::Placeholder("x".into())]) {
+        Err(e) => println!("-> {e}\n"),
+        Ok(_) => unreachable!(),
+    }
+
+    // 2b. statically-provable shape mismatch, caught at compile time
+    let src = "\
+def g(x):
+    h = tf.matmul(x, w1)
+    return tf.matmul(h, w2)
+";
+    println!("{src}");
+    let mut rt = Runtime::load(src, true).expect("load");
+    rt.globals
+        .set("w1", Value::tensor(Tensor::zeros(DType::F32, &[8, 16])));
+    rt.globals
+        .set("w2", Value::tensor(Tensor::zeros(DType::F32, &[10, 4]))); // 16 != 10
+    match rt.compile("g", &["x"]) {
+        Err(e) => println!("-> {e}\n"),
+        Ok(_) => unreachable!(),
+    }
+
+    println!("=== 3. runtime errors (staged IR execution) ===\n");
+    let src = "\
+def h(x):
+    assert x > 0.0, 'x must be positive'
+    return tf.sqrt(x)
+";
+    println!("{src}");
+    let mut rt = Runtime::load(src, true).expect("load");
+    let staged = rt
+        .stage_to_graph("h", vec![GraphArg::Placeholder("x".into())])
+        .expect("stage");
+    let mut sess = Session::new(staged.graph);
+    let ok = sess
+        .run(&[("x", Tensor::scalar_f32(9.0))], &staged.outputs)
+        .expect("run");
+    println!("h(9.0) = {}", ok[0].scalar_value_f32().expect("scalar"));
+    match sess.run(&[("x", Tensor::scalar_f32(-1.0))], &staged.outputs) {
+        Err(e) => println!("h(-1.0) -> {e}"),
+        Ok(_) => unreachable!(),
+    }
+}

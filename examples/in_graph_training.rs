@@ -1,0 +1,60 @@
+//! In-graph training (Table 2): the entire SGD loop — data indexing,
+//! forward pass, symbolic gradients, parameter updates — staged into one
+//! graph and executed with a single `Session::run`.
+//!
+//! ```sh
+//! cargo run --release --example in_graph_training
+//! ```
+
+use autograph::prelude::*;
+use autograph_models::data::synthetic_mnist;
+use autograph_models::mnist;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = 64;
+    let steps = 300;
+    let (images, labels) = synthetic_mnist(mnist::NUM_BATCHES, batch, 99);
+    let params = mnist::LinearParams::new(1);
+
+    let x0 = images.index_axis0(0)?;
+    let y0 = labels.index_axis0(0)?;
+    println!("initial loss: {:.4}", mnist::loss_on(&params, &x0, &y0)?);
+
+    println!("\n--- the imperative training loop ---");
+    println!(
+        "{}",
+        mnist::TRAIN_SRC.split("def train_eager").next().unwrap()
+    );
+
+    // Convert + stage the whole loop, gradients included.
+    let mut rt = mnist::runtime(true)?;
+    let staged = mnist::stage_autograph(&mut rt)?;
+    println!(
+        "staged training graph: {} nodes (one While with tf.gradients inside)",
+        staged.graph.deep_len()
+    );
+
+    let mut sess = Session::new(staged.graph);
+    let t0 = std::time::Instant::now();
+    let out = sess.run(
+        &[
+            ("images", images.clone()),
+            ("labels", labels.clone()),
+            ("w", params.w.clone()),
+            ("b", params.b.clone()),
+            ("steps", Tensor::scalar_i64(steps as i64)),
+        ],
+        &staged.outputs,
+    )?;
+    let dt = t0.elapsed();
+    let trained = mnist::LinearParams {
+        w: out[0].clone(),
+        b: out[1].clone(),
+    };
+    println!(
+        "{steps} SGD steps in one Session::run: {dt:?} ({:.0} steps/sec)",
+        steps as f64 / dt.as_secs_f64()
+    );
+    println!("final loss:   {:.4}", mnist::loss_on(&trained, &x0, &y0)?);
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: the paper's Listing 1, end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use autograph::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = "\
+def f(x):
+    if x > 0:
+        x = x * x
+    return x
+";
+    println!("--- original (imperative) source ---\n{src}");
+
+    // Source-to-source view: inspect what the converter produces (§10:
+    // \"the generated code can be inspected, and even modified\").
+    let converted = convert_source(src)?;
+    println!("--- converted source ---\n{converted}");
+
+    // Load with conversion (the @ag.convert() decorator analog).
+    let mut rt = Runtime::load(src, true)?;
+
+    // Dynamic dispatch, case 1: a Python int executes imperatively.
+    let y = rt.call("f", vec![Value::Int(3)])?;
+    println!("f(3) dispatched imperatively      = {}", y.render());
+
+    // Dynamic dispatch, case 2: an eager tensor also runs imperatively.
+    let y = rt.call("f", vec![Value::tensor(Tensor::scalar_f32(-4.0))])?;
+    println!("f(tensor -4.0) eager              = {}", y.render());
+
+    // Dynamic dispatch, case 3: a placeholder stages tf.cond into a graph.
+    let staged = rt.stage_to_graph("f", vec![GraphArg::Placeholder("x".into())])?;
+    println!(
+        "staged graph: {} nodes (including a Cond)",
+        staged.graph.deep_len()
+    );
+    let mut sess = Session::new(staged.graph);
+    for v in [5.0f32, -5.0] {
+        let out = sess.run(&[("x", Tensor::scalar_f32(v))], &staged.outputs)?;
+        println!(
+            "session.run(x = {v:>4})             = {}",
+            out[0].scalar_value_f32()?
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Workspace facade crate for the AutoGraph reproduction.
+//!
+//! Re-exports the public API crate; see [`autograph`].
+pub use autograph as ag;

@@ -1,0 +1,353 @@
+//! Conversion preserves semantics: the same function, converted and
+//! unconverted, produces identical results on host (Python) values.
+//!
+//! The deterministic cases cover each conversion pass; the proptest at the
+//! bottom is the "random code generation fuzzing system" the paper lists
+//! as future work (§10): randomly generated imperative programs are
+//! converted and checked for behavioural equality.
+
+use autograph::prelude::*;
+use proptest::prelude::*;
+
+fn check_equiv(src: &str, fname: &str, argsets: &[Vec<Value>]) {
+    let mut plain = Runtime::load(src, false).expect("load plain");
+    let mut conv = Runtime::load(src, true).expect("load converted");
+    for args in argsets {
+        let a = plain.call(fname, args.clone());
+        let b = conv.call(fname, args.clone());
+        match (a, b) {
+            (Ok(a), Ok(b)) => assert!(
+                a.py_eq(&b),
+                "{fname}{args:?}: {} != {}\nsource:\n{src}",
+                a.render(),
+                b.render()
+            ),
+            (Err(_), Err(_)) => {} // both error: fine (e.g. division by zero)
+            (a, b) => panic!("{fname}{args:?}: one failed: {a:?} vs {b:?}\nsource:\n{src}"),
+        }
+    }
+}
+
+fn ints(vals: &[i64]) -> Vec<Vec<Value>> {
+    vals.iter().map(|&v| vec![Value::Int(v)]).collect()
+}
+
+#[test]
+fn conditionals() {
+    check_equiv(
+        "def f(x):\n    if x > 0:\n        x = x * x\n    return x\n",
+        "f",
+        &ints(&[-3, 0, 5]),
+    );
+    check_equiv(
+        "def f(x):\n    if x > 10:\n        r = 'big'\n    elif x > 0:\n        r = 'small'\n    else:\n        r = 'neg'\n    return r\n",
+        "f",
+        &ints(&[-1, 5, 50]),
+    );
+}
+
+#[test]
+fn loops_with_break_continue() {
+    check_equiv(
+        "def f(n):\n    total = 0\n    i = 0\n    while i < n:\n        i = i + 1\n        if i % 2 == 0:\n            continue\n        if i > 7:\n            break\n        total = total + i\n    return total\n",
+        "f",
+        &ints(&[0, 3, 20]),
+    );
+    check_equiv(
+        "def f(n):\n    s = 0\n    for i in range(n):\n        if i == 4:\n            break\n        s = s + i\n    return s\n",
+        "f",
+        &ints(&[0, 2, 10]),
+    );
+}
+
+#[test]
+fn early_returns() {
+    check_equiv(
+        "def f(x):\n    if x < 0:\n        return -x\n    if x == 0:\n        return 100\n    return x * 2\n",
+        "f",
+        &ints(&[-5, 0, 7]),
+    );
+    // return inside loop (guard fallback path)
+    check_equiv(
+        "def f(n):\n    for i in range(n):\n        if i * i > 20:\n            return i\n    return -1\n",
+        "f",
+        &ints(&[0, 3, 10]),
+    );
+}
+
+#[test]
+fn list_idioms() {
+    check_equiv(
+        "def f(n):\n    l = []\n    for i in range(n):\n        l.append(i * i)\n    total = 0\n    for v in l:\n        total = total + v\n    return total\n",
+        "f",
+        &ints(&[0, 1, 6]),
+    );
+    check_equiv(
+        "def f(n):\n    l = [1, 2, 3]\n    v = l.pop()\n    l.append(n)\n    return l[0] + l[-1] + v\n",
+        "f",
+        &ints(&[9]),
+    );
+}
+
+#[test]
+fn logical_and_comparison_chains() {
+    check_equiv(
+        "def f(x):\n    a = x > 0 and x < 10\n    b = x < 0 or x > 100\n    c = not a\n    d = 0 <= x <= 5\n    e = x == 3\n    return (a, b, c, d, e)\n",
+        "f",
+        &ints(&[-5, 3, 7, 500]),
+    );
+    // short-circuit effects: right operand must not evaluate
+    check_equiv(
+        "def f(x):\n    if x != 0 and 10 // x > 1:\n        return 1\n    return 0\n",
+        "f",
+        &ints(&[0, 1, 4, 9]),
+    );
+}
+
+#[test]
+fn nested_functions_and_calls() {
+    check_equiv(
+        "def helper(a, b):\n    if a > b:\n        return a - b\n    return b - a\n\ndef f(x):\n    return helper(x, 10) + helper(10, x)\n",
+        "f",
+        &ints(&[-3, 10, 30]),
+    );
+    check_equiv(
+        "def f(x):\n    def inner(y):\n        return y * 2\n    if x > 0:\n        return inner(x)\n    return inner(-x) + 1\n",
+        "f",
+        &ints(&[-4, 4]),
+    );
+}
+
+#[test]
+fn recursion_preserved() {
+    check_equiv(
+        "def f(n):\n    if n <= 1:\n        return 1\n    return n * f(n - 1)\n",
+        "f",
+        &ints(&[0, 1, 6]),
+    );
+}
+
+#[test]
+fn aug_assign_and_setitem() {
+    check_equiv(
+        "def f(n):\n    l = [0, 0, 0]\n    i = 0\n    while i < 3:\n        l[i] = n + i\n        i += 1\n    l[1] += 100\n    return l\n",
+        "f",
+        &ints(&[5]),
+    );
+}
+
+#[test]
+fn ternary_and_assert() {
+    check_equiv(
+        "def f(x):\n    y = x * 2 if x > 0 else -x\n    assert y >= 0, 'y negative'\n    return y\n",
+        "f",
+        &ints(&[-3, 0, 3]),
+    );
+}
+
+#[test]
+fn tuple_results_and_unpacking() {
+    check_equiv(
+        "def divmod_(a, b):\n    return a // b, a % b\n\ndef f(x):\n    q, r = divmod_(x, 7)\n    return q * 1000 + r\n",
+        "f",
+        &ints(&[0, 13, 100]),
+    );
+}
+
+// ---- randomized equivalence (the paper's future-work fuzzer) -------------
+
+/// A tiny generator of imperative integer programs: every generated
+/// program terminates (loops iterate over bounded ranges) and avoids
+/// nondeterministic arithmetic faults (division only by nonzero
+/// constants).
+mod gen {
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    pub enum E {
+        Var(usize),
+        Lit(i64),
+        Add(Box<E>, Box<E>),
+        Sub(Box<E>, Box<E>),
+        Mul(Box<E>, Box<E>),
+        ModC(Box<E>, i64),
+    }
+
+    #[derive(Debug, Clone)]
+    pub enum C {
+        Lt(E, E),
+        Eq(E, E),
+        And(Box<C>, Box<C>),
+        Not(Box<C>),
+    }
+
+    #[derive(Debug, Clone)]
+    pub enum S {
+        Assign(usize, E),
+        If(C, Vec<S>, Vec<S>),
+        For(u8, Vec<S>),
+        Break(C),
+        Continue(C),
+        Return(E),
+    }
+
+    pub const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+    pub fn expr() -> impl Strategy<Value = E> {
+        let leaf = prop_oneof![(0usize..4).prop_map(E::Var), (-20i64..20).prop_map(E::Lit),];
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+                (inner, 2i64..6).prop_map(|(a, c)| E::ModC(Box::new(a), c)),
+            ]
+        })
+    }
+
+    pub fn cond() -> impl Strategy<Value = C> {
+        let leaf = prop_oneof![
+            (expr(), expr()).prop_map(|(a, b)| C::Lt(a, b)),
+            (expr(), expr()).prop_map(|(a, b)| C::Eq(a, b)),
+        ];
+        leaf.prop_recursive(2, 8, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| C::And(Box::new(a), Box::new(b))),
+                inner.prop_map(|a| C::Not(Box::new(a))),
+            ]
+        })
+    }
+
+    pub fn stmt(depth: u32) -> BoxedStrategy<S> {
+        if depth == 0 {
+            return (0usize..4, expr())
+                .prop_map(|(v, e)| S::Assign(v, e))
+                .boxed();
+        }
+        prop_oneof![
+            4 => (0usize..4, expr()).prop_map(|(v, e)| S::Assign(v, e)),
+            2 => (cond(), block(depth - 1), block(depth - 1))
+                .prop_map(|(c, t, e)| S::If(c, t, e)),
+            2 => (1u8..5, loop_block(depth - 1)).prop_map(|(n, b)| S::For(n, b)),
+            1 => expr().prop_map(S::Return),
+        ]
+        .boxed()
+    }
+
+    fn block(depth: u32) -> BoxedStrategy<Vec<S>> {
+        prop::collection::vec(stmt(depth), 1..4).boxed()
+    }
+
+    /// Loop bodies may also break/continue (conditionally, so later
+    /// statements stay reachable).
+    fn loop_block(depth: u32) -> BoxedStrategy<Vec<S>> {
+        let s = prop_oneof![
+            5 => stmt(depth),
+            1 => cond().prop_map(S::Break),
+            1 => cond().prop_map(S::Continue),
+        ];
+        prop::collection::vec(s, 1..4).boxed()
+    }
+
+    pub fn render_expr(e: &E) -> String {
+        match e {
+            E::Var(v) => VARS[*v].to_string(),
+            E::Lit(n) => {
+                if *n < 0 {
+                    format!("({n})")
+                } else {
+                    n.to_string()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", render_expr(a), render_expr(b)),
+            E::Sub(a, b) => format!("({} - {})", render_expr(a), render_expr(b)),
+            E::Mul(a, b) => format!("({} * {})", render_expr(a), render_expr(b)),
+            E::ModC(a, c) => format!("({} % {c})", render_expr(a)),
+        }
+    }
+
+    pub fn render_cond(c: &C) -> String {
+        match c {
+            C::Lt(a, b) => format!("{} < {}", render_expr(a), render_expr(b)),
+            C::Eq(a, b) => format!("{} == {}", render_expr(a), render_expr(b)),
+            C::And(a, b) => format!("({}) and ({})", render_cond(a), render_cond(b)),
+            C::Not(a) => format!("not ({})", render_cond(a)),
+        }
+    }
+
+    pub fn render_block(body: &[S], indent: usize, loop_var: &mut usize, out: &mut String) {
+        let pad = "    ".repeat(indent);
+        for s in body {
+            match s {
+                S::Assign(v, e) => {
+                    out.push_str(&format!("{pad}{} = {}\n", VARS[*v], render_expr(e)))
+                }
+                S::If(c, t, e) => {
+                    out.push_str(&format!("{pad}if {}:\n", render_cond(c)));
+                    render_block(t, indent + 1, loop_var, out);
+                    out.push_str(&format!("{pad}else:\n"));
+                    render_block(e, indent + 1, loop_var, out);
+                }
+                S::For(n, b) => {
+                    let lv = format!("i{loop_var}");
+                    *loop_var += 1;
+                    out.push_str(&format!("{pad}for {lv} in range({n}):\n"));
+                    render_block(b, indent + 1, loop_var, out);
+                }
+                S::Break(c) => {
+                    out.push_str(&format!("{pad}if {}:\n", render_cond(c)));
+                    out.push_str(&format!("{pad}    break\n"));
+                }
+                S::Continue(c) => {
+                    out.push_str(&format!("{pad}if {}:\n", render_cond(c)));
+                    out.push_str(&format!("{pad}    continue\n"));
+                }
+                S::Return(e) => out.push_str(&format!("{pad}return {}\n", render_expr(e))),
+            }
+        }
+    }
+
+    pub fn render_program(body: &[S]) -> String {
+        let mut out = String::from("def f(x, y):\n    z = 0\n    w = 1\n");
+        let mut loop_var = 0;
+        render_block(body, 1, &mut loop_var, &mut out);
+        out.push_str("    return x * 1000003 + y * 1009 + z * 31 + w\n");
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random imperative programs behave identically before and after
+    /// conversion.
+    #[test]
+    fn fuzz_conversion_preserves_semantics(
+        body in proptest::collection::vec(gen::stmt(2), 1..5),
+        a in -10i64..10,
+        b in -10i64..10,
+    ) {
+        let src = gen::render_program(&body);
+        let mut plain = Runtime::load(&src, false).expect("plain load");
+        let conv = Runtime::load(&src, true);
+        let conv = match conv {
+            Ok(c) => c,
+            Err(e) => panic!("conversion failed: {e}\n{src}"),
+        };
+        let mut conv = conv;
+        let args = vec![Value::Int(a), Value::Int(b)];
+        let r1 = plain.call("f", args.clone());
+        let r2 = conv.call("f", args);
+        match (r1, r2) {
+            (Ok(v1), Ok(v2)) => prop_assert!(
+                v1.py_eq(&v2),
+                "mismatch: {} vs {}\n{}",
+                v1.render(),
+                v2.render(),
+                src
+            ),
+            (Err(_), Err(_)) => {}
+            (r1, r2) => prop_assert!(false, "one failed: {r1:?} vs {r2:?}\n{src}"),
+        }
+    }
+}
