@@ -145,6 +145,7 @@ fn ablate_amortize(args: &HarnessArgs) {
 
 fn main() {
     let args = HarnessArgs::parse();
+    let profiler = args.profiler();
     let which = args.rest.first().map(String::as_str).unwrap_or("all");
     match which {
         "graphopt" => ablate_graphopt(&args),
@@ -160,4 +161,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    profiler.finish();
 }

@@ -183,6 +183,7 @@ fn bench_seq2seq(args: &HarnessArgs) {
 
 fn main() {
     let args = HarnessArgs::parse();
+    let profiler = args.profiler();
     let which = args.rest.first().map(String::as_str).unwrap_or("all");
     match which {
         "beam" => bench_beam(&args),
@@ -200,4 +201,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    profiler.finish();
 }

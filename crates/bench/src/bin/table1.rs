@@ -10,6 +10,7 @@ use autograph_models::rnn;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let profiler = args.profiler();
     let (hidden, feat, seqs, batches) = if args.full {
         (256, 64, vec![64, 128], vec![32, 64, 128])
     } else {
@@ -83,4 +84,5 @@ fn main() {
     }
     rule(header.len());
     println!("\nPaper shape: Eager slowest by ~2-3x; Official ≈ Handwritten ≈ AutoGraph.");
+    profiler.finish();
 }

@@ -10,6 +10,7 @@ use autograph_tensor::Tensor;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let profiler = args.profiler();
     let (batch, steps) = if args.full { (200, 1000) } else { (64, 100) };
     let warmup = 1;
     let runs = args.runs.max(3);
@@ -92,4 +93,5 @@ fn main() {
         "AutoGraph vs handwritten in-graph: {:.2}x (paper: ~0.96x)",
         ingraph.mean / autograph.mean
     );
+    profiler.finish();
 }

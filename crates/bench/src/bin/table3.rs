@@ -10,6 +10,7 @@ use autograph_tensor::{Rng64, Tensor};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let profiler = args.profiler();
     let (dim, leaves, examples) = if args.full { (64, 24, 20) } else { (8, 16, 10) };
     let warmup = 1;
     let runs = args.runs;
@@ -70,4 +71,5 @@ fn main() {
         "\nAutoGraph/Lantern speedup over eager: {:.2}x (paper: ~2.38x)",
         eager.mean / lantern.mean
     );
+    profiler.finish();
 }

@@ -87,12 +87,16 @@ pub fn rule(n: usize) {
     println!("{}", "-".repeat(34 + 22 * n));
 }
 
-/// Parse `--full` / `--runs N` style flags from `std::env::args`.
+/// Parse `--full` / `--runs N` / `--profile PATH` style flags from
+/// `std::env::args`.
 pub struct HarnessArgs {
     /// Use paper-scale workloads (slow) instead of laptop-scale defaults.
     pub full: bool,
     /// Measured runs per configuration.
     pub runs: usize,
+    /// Write a Chrome trace (`chrome://tracing` JSON) to this path and
+    /// print a per-op summary table at exit.
+    pub profile: Option<String>,
     /// Remaining positional arguments.
     pub rest: Vec<String>,
 }
@@ -102,6 +106,7 @@ impl HarnessArgs {
     pub fn parse() -> HarnessArgs {
         let mut full = false;
         let mut runs = 5;
+        let mut profile = None;
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -110,10 +115,67 @@ impl HarnessArgs {
                 "--runs" => {
                     runs = args.next().and_then(|v| v.parse().ok()).unwrap_or(runs);
                 }
+                "--profile" => profile = args.next(),
                 other => rest.push(other.to_string()),
             }
         }
-        HarnessArgs { full, runs, rest }
+        HarnessArgs {
+            full,
+            runs,
+            profile,
+            rest,
+        }
+    }
+
+    /// Start profiling if `--profile` was given. Call
+    /// [`Profiler::finish`] after the workload to write the trace and
+    /// print the summary. Inert (and free) without the flag.
+    pub fn profiler(&self) -> Profiler {
+        Profiler::start(self.profile.clone())
+    }
+}
+
+/// Bench-side exporter: installs a fan-out of a Chrome-trace buffer and
+/// an aggregating recorder, then writes the trace file and prints the
+/// per-op summary table (sorted by total self-time) on [`Profiler::finish`].
+pub struct Profiler {
+    sinks: Option<(
+        std::sync::Arc<autograph_obs::TraceRecorder>,
+        std::sync::Arc<autograph_obs::AggregateRecorder>,
+        String,
+    )>,
+}
+
+impl Profiler {
+    /// Install recorders when `path` is given; otherwise a no-op guard.
+    pub fn start(path: Option<String>) -> Profiler {
+        use std::sync::Arc;
+        let sinks = path.map(|path| {
+            let trace = Arc::new(autograph_obs::TraceRecorder::new());
+            let agg = Arc::new(autograph_obs::AggregateRecorder::new());
+            autograph_obs::install(Arc::new(autograph_obs::FanoutRecorder::new(vec![
+                trace.clone() as Arc<dyn autograph_obs::Recorder>,
+                agg.clone() as Arc<dyn autograph_obs::Recorder>,
+            ])));
+            (trace, agg, path)
+        });
+        Profiler { sinks }
+    }
+
+    /// Write the Chrome trace and print the summary table. Also prints the
+    /// `PROFILE_NODES` aggregate when the env-var bootstrap was active.
+    pub fn finish(self) {
+        if let Some((trace, agg, path)) = self.sinks {
+            autograph_obs::uninstall();
+            match trace.write_to(&path) {
+                Ok(()) => eprintln!("\nwrote Chrome trace to {path} (open in chrome://tracing)"),
+                Err(e) => eprintln!("\nfailed to write Chrome trace to {path}: {e}"),
+            }
+            println!("\n{}", agg.summary().render_table());
+        } else if let Some(summary) = autograph_obs::env::installed_summary() {
+            // PROFILE_NODES=1 path: no trace file, but show the aggregate
+            println!("\n{}", summary.render_table());
+        }
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::registry::{default_registry, OpDef};
 use crate::tape::Tape;
 use crate::{EagerError, Result};
+use autograph_obs as obs;
 use autograph_tensor::Tensor;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -70,6 +71,14 @@ impl Eager {
     ///
     /// Fails for unknown ops or kernel errors.
     pub fn op(&self, name: &str, inputs: &[&EagerTensor]) -> Result<EagerTensor> {
+        // one relaxed atomic load when profiling is off; the span name
+        // allocates only when a recorder is installed
+        let _span = if obs::enabled() {
+            obs::count("eager", "dispatches", 1);
+            obs::span_dyn("eager_op", || name.to_string())
+        } else {
+            None
+        };
         let def = self
             .registry
             .get(name)
@@ -153,7 +162,11 @@ impl Eager {
                     .ok_or_else(|| EagerError::new("parameter is not watched on the tape"))
             })
             .collect::<Result<_>>()?;
-        let grads = tape.gradient(&self.registry, loss_node, loss.tensor.shape(), &wrt_nodes)?;
+        let grads = {
+            obs::observe("eager", "tape_len", tape.len() as u64);
+            let _span = obs::span("eager", "tape_backward");
+            tape.gradient(&self.registry, loss_node, loss.tensor.shape(), &wrt_nodes)?
+        };
         Ok(grads
             .into_iter()
             .zip(wrt)

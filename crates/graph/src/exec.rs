@@ -4,6 +4,7 @@
 use crate::ir::{GValue, Graph, NodeId, OpKind, SubGraph};
 use crate::ops;
 use crate::{GraphError, Result};
+use autograph_obs as obs;
 use autograph_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -77,6 +78,9 @@ impl Plan {
         env: &mut ExecEnv<'_>,
         fetches: &[NodeId],
     ) -> Result<Vec<GValue>> {
+        // PROFILE_NODES=1 compatibility: install the streaming recorder on
+        // first use. One OnceLock load after initialization.
+        obs::env::maybe_init_from_env();
         let mut values: Vec<Option<GValue>> = vec![None; graph.nodes.len()];
         let mut inbuf: Vec<GValue> = Vec::with_capacity(8);
         for &id in &self.order {
@@ -154,6 +158,17 @@ fn eval_node(
         OpKind::Cond { then_g, else_g } => {
             let inputs = gather_inputs(graph, id, values, inbuf)?.to_vec();
             let pred = ops::as_bool_scalar(&inputs[0])?;
+            if obs::enabled() {
+                obs::count(
+                    "graph",
+                    if pred {
+                        "cond_then_taken"
+                    } else {
+                        "cond_else_taken"
+                    },
+                    1,
+                );
+            }
             let args = &inputs[1..];
             let branch = if pred { then_g } else { else_g };
             let outs = eval_subgraph(branch, args, env)?;
@@ -192,16 +207,16 @@ fn eval_node(
                     }
                 }
             }
+            // observe() is a no-op (one relaxed atomic load) when disabled
+            obs::observe("graph", "while_iters", iters);
             Ok(GValue::Tuple(state))
         }
         _ => {
             let inputs = gather_inputs(graph, id, values, inbuf)?;
-            static PROFILE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-            if *PROFILE.get_or_init(|| std::env::var_os("PROFILE_NODES").is_some()) {
-                let t0 = std::time::Instant::now();
-                let r = ops::execute(&node.op, inputs);
-                eprintln!("PROF {} {}ns", node.op.mnemonic(), t0.elapsed().as_nanos());
-                r
+            if obs::enabled() {
+                obs::count("graph", "node_evals", 1);
+                let _span = obs::span("graph_op", node.op.mnemonic());
+                ops::execute(&node.op, inputs)
             } else {
                 ops::execute(&node.op, inputs)
             }

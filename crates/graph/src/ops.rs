@@ -4,6 +4,7 @@
 
 use crate::ir::{GValue, OpKind};
 use crate::{GraphError, Result};
+use autograph_obs as obs;
 use autograph_tensor::{DType, Tensor};
 
 fn t(inputs: &[GValue], i: usize) -> Result<&Tensor> {
@@ -215,7 +216,12 @@ pub fn execute(op: &OpKind, inputs: &[GValue]) -> Result<GValue> {
             .ok_or_else(|| GraphError::runtime("identity with no input"))?,
         Print(prefix) => {
             let v = t(inputs, 0)?;
-            println!("{prefix}{v}");
+            let line = format!("{prefix}{v}");
+            // a print-capturing recorder (tests, profiling) swallows the
+            // line; otherwise keep the user-visible stdout behavior
+            if !obs::emit_print(&line) {
+                println!("{line}");
+            }
             v.clone().into()
         }
         AssertOp(msg) => {

@@ -16,6 +16,7 @@
 
 use crate::ir::{GValue, Graph, Node, NodeId, OpKind, SubGraph};
 use crate::ops;
+use autograph_obs as obs;
 use std::collections::HashMap;
 
 /// Statistics from one optimization run (used by the ablation bench).
@@ -33,9 +34,31 @@ pub struct OptStats {
 /// stats)`.
 pub fn optimize(graph: &Graph, protected: &[NodeId]) -> (Graph, Vec<NodeId>, OptStats) {
     let mut stats = OptStats::default();
-    let (g, remap) = fold_and_cse(graph, &mut stats);
+    let nodes_in = graph.nodes.len();
+    let (g, remap) = {
+        let _span = obs::span("optimize", "fold_and_cse");
+        fold_and_cse(graph, &mut stats)
+    };
+    if obs::enabled() {
+        obs::observe(
+            "optimize",
+            "fold_cse_nodes_removed",
+            (nodes_in - g.nodes.len()) as u64,
+        );
+    }
     let protected_mid: Vec<NodeId> = protected.iter().map(|&p| remap[p]).collect();
-    let (g, remap2) = dce(&g, &protected_mid, &mut stats);
+    let nodes_mid = g.nodes.len();
+    let (g, remap2) = {
+        let _span = obs::span("optimize", "dce");
+        dce(&g, &protected_mid, &mut stats)
+    };
+    if obs::enabled() {
+        obs::observe(
+            "optimize",
+            "dce_nodes_removed",
+            (nodes_mid - g.nodes.len()) as u64,
+        );
+    }
     let protected_out = protected_mid
         .iter()
         .map(|&p| remap2[p].expect("protected nodes survive DCE"))

@@ -4,8 +4,29 @@
 use crate::exec::{ExecEnv, Plan};
 use crate::ir::{GValue, Graph, NodeId};
 use crate::Result;
+use autograph_obs as obs;
 use autograph_tensor::Tensor;
 use std::collections::HashMap;
+
+/// Plan-cache accounting for one [`Session`], exposed via
+/// [`Session::stats`]. A miss means a fetch set was compiled; a hit means
+/// an existing plan was reused. Build time is tracked per fetch set.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Runs that reused a cached plan.
+    pub plan_cache_hits: u64,
+    /// Runs that compiled (and cached) a new plan.
+    pub plan_cache_misses: u64,
+    /// Wall time spent compiling each fetch set's plan, in nanoseconds.
+    pub plan_build_ns: HashMap<Vec<NodeId>, u64>,
+}
+
+impl SessionStats {
+    /// Total nanoseconds spent compiling plans across all fetch sets.
+    pub fn total_build_ns(&self) -> u64 {
+        self.plan_build_ns.values().sum()
+    }
+}
 
 /// Executes fetches against a graph, with persistent variables and
 /// per-fetch-set plan caching. One `run` call per training step is the
@@ -16,6 +37,7 @@ pub struct Session {
     graph: Graph,
     variables: HashMap<String, Tensor>,
     plans: HashMap<Vec<NodeId>, Plan>,
+    stats: SessionStats,
 }
 
 impl Session {
@@ -27,12 +49,18 @@ impl Session {
             graph,
             variables,
             plans: HashMap::new(),
+            stats: SessionStats::default(),
         }
     }
 
     /// The graph this session executes.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// Plan-cache statistics accumulated over this session's runs.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
     }
 
     /// Current value of a variable.
@@ -70,8 +98,19 @@ impl Session {
         fetches: &[NodeId],
     ) -> Result<Vec<GValue>> {
         let key = fetches.to_vec();
-        if !self.plans.contains_key(&key) {
+        if self.plans.contains_key(&key) {
+            self.stats.plan_cache_hits += 1;
+            obs::count("session", "plan_cache_hit", 1);
+        } else {
+            let t0 = std::time::Instant::now();
             let plan = Plan::compile(&self.graph, fetches)?;
+            let build_ns = t0.elapsed().as_nanos() as u64;
+            self.stats.plan_cache_misses += 1;
+            *self.stats.plan_build_ns.entry(key.clone()).or_insert(0) += build_ns;
+            if obs::enabled() {
+                obs::count("session", "plan_cache_miss", 1);
+                obs::observe("session", "plan_build_ns", build_ns);
+            }
             self.plans.insert(key.clone(), plan);
         }
         let plan = &self.plans[&key];
@@ -140,6 +179,29 @@ mod tests {
         sess.run(&[], &[s]).unwrap();
         sess.run(&[], &[m]).unwrap();
         assert_eq!(sess.plans.len(), 2);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses_per_fetch_set() {
+        let mut b = GraphBuilder::new();
+        let a = b.scalar(1.0);
+        let c = b.scalar(2.0);
+        let s = b.add_op(a, c);
+        let mut sess = Session::new(b.finish());
+        // same fetch set twice: one miss (compile), then one hit
+        sess.run(&[], &[s]).unwrap();
+        assert_eq!(sess.stats().plan_cache_misses, 1);
+        assert_eq!(sess.stats().plan_cache_hits, 0);
+        sess.run(&[], &[s]).unwrap();
+        assert_eq!(sess.stats().plan_cache_misses, 1);
+        assert_eq!(sess.stats().plan_cache_hits, 1);
+        // build time recorded for exactly the one compiled fetch set
+        assert_eq!(sess.stats().plan_build_ns.len(), 1);
+        assert!(sess.stats().plan_build_ns.contains_key(&vec![s]));
+        assert_eq!(
+            sess.stats().total_build_ns(),
+            sess.stats().plan_build_ns[&vec![s]]
+        );
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Chrome-trace export: buffers complete (`ph: "X"`) events and writes
+//! a JSON file loadable by `chrome://tracing` or Perfetto.
+
+use crate::recorder::Recorder;
+use crate::thread_lane;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Default cap on buffered events; one complete event is ~100 bytes of
+/// JSON, so the default bounds a runaway trace near 100 MB.
+pub const DEFAULT_MAX_EVENTS: usize = 1_000_000;
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ts_ns: u64,
+    dur_ns: u64,
+    tid: u64,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    counters: Vec<(u64, &'static str, String, u64)>, // (ts, cat, name, running total)
+    totals: std::collections::HashMap<String, u64>,
+}
+
+/// Buffers span events (and counter updates) for Chrome-trace export.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    state: Mutex<TraceState>,
+    max_events: usize,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder buffering up to [`DEFAULT_MAX_EVENTS`] span events.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::with_capacity(DEFAULT_MAX_EVENTS)
+    }
+
+    /// A recorder buffering at most `max_events` span events; further
+    /// events are counted as dropped (reported in the trace metadata).
+    pub fn with_capacity(max_events: usize) -> TraceRecorder {
+        TraceRecorder {
+            state: Mutex::new(TraceState::default()),
+            max_events,
+        }
+    }
+
+    /// Number of buffered span events.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("obs trace lock").events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the Chrome trace JSON document.
+    pub fn to_json(&self) -> String {
+        let state = self.state.lock().expect("obs trace lock");
+        let mut out = String::with_capacity(128 + state.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for e in &state.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // Chrome wants microseconds; fractional us keep ns precision
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                json_string(&e.name),
+                json_string(e.cat),
+                e.tid,
+                e.ts_ns as f64 / 1e3,
+                e.dur_ns as f64 / 1e3,
+            ));
+        }
+        for (ts_ns, cat, name, total) in &state.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"C\",\"pid\":1,\"ts\":{:.3},\"args\":{{\"value\":{}}}}}",
+                json_string(name),
+                json_string(cat),
+                *ts_ns as f64 / 1e3,
+                total,
+            ));
+        }
+        out.push_str("],\"otherData\":{\"droppedEvents\":");
+        out.push_str(&state.dropped.to_string());
+        out.push_str("}}");
+        out
+    }
+
+    /// Write the trace JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn span(&self, cat: &'static str, name: &str, start_ns: u64, dur_ns: u64) {
+        let tid = thread_lane();
+        let mut state = self.state.lock().expect("obs trace lock");
+        if state.events.len() >= self.max_events {
+            state.dropped += 1;
+            return;
+        }
+        state.events.push(TraceEvent {
+            name: name.to_string(),
+            cat,
+            ts_ns: start_ns,
+            dur_ns,
+            tid,
+        });
+    }
+
+    fn count(&self, cat: &'static str, name: &'static str, delta: u64) {
+        let ts = crate::now_ns();
+        let mut state = self.state.lock().expect("obs trace lock");
+        let key = format!("{cat}/{name}");
+        let total = state.totals.entry(key).or_insert(0);
+        *total = total.saturating_add(delta);
+        let total = *total;
+        if state.counters.len() < self.max_events {
+            state.counters.push((ts, cat, name.to_string(), total));
+        }
+    }
+
+    fn observe(&self, _cat: &'static str, _name: &'static str, _value: u64) {
+        // distributions are an aggregate concern; traces keep spans only
+    }
+}
+
+/// Escape `s` as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_parses_back_with_serde_json() {
+        let t = TraceRecorder::new();
+        t.span("graph_op", "matmul", 1_000, 2_500);
+        t.span("graph_op", "weird \"name\"\n", 4_000, 10);
+        t.count("session", "plan_miss", 1);
+        let doc = serde_json::from_str(&t.to_json()).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0]["name"].as_str(), Some("matmul"));
+        assert_eq!(events[0]["ph"].as_str(), Some("X"));
+        assert_eq!(events[0]["ts"].as_f64(), Some(1.0)); // 1000ns = 1us
+        assert_eq!(events[0]["dur"].as_f64(), Some(2.5));
+        assert_eq!(events[1]["name"].as_str(), Some("weird \"name\"\n"));
+        assert_eq!(events[2]["ph"].as_str(), Some("C"));
+        assert_eq!(events[2]["args"]["value"].as_u64(), Some(1));
+        assert_eq!(doc["otherData"]["droppedEvents"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn capacity_cap_counts_drops() {
+        let t = TraceRecorder::with_capacity(2);
+        for i in 0..5 {
+            t.span("c", "s", i, 1);
+        }
+        assert_eq!(t.len(), 2);
+        let doc = serde_json::from_str(&t.to_json()).expect("valid JSON");
+        assert_eq!(doc["otherData"]["droppedEvents"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn write_to_creates_parseable_file() {
+        let t = TraceRecorder::new();
+        t.span("c", "s", 0, 42);
+        let path = std::env::temp_dir().join("autograph_obs_chrome_test.json");
+        t.write_to(&path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(doc["traceEvents"][0]["dur"].as_f64(), Some(0.042));
+        let _ = std::fs::remove_file(&path);
+    }
+}

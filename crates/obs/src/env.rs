@@ -1,0 +1,57 @@
+//! Environment-variable bootstrap: backward compatibility for the old
+//! `PROFILE_NODES` hack.
+//!
+//! Setting `PROFILE_NODES=1` used to make the graph executor `eprintln!`
+//! one `PROF <op> <ns>ns` line per kernel. The executors now call
+//! [`maybe_init_from_env`] once per process instead; when the variable
+//! is set (and no recorder was installed explicitly) it installs an
+//! [`crate::AggregateRecorder`] in streaming mode, which emits the same
+//! lines *and* aggregates the per-op summary, available through
+//! [`installed_summary`].
+
+use crate::metrics::AggregateRecorder;
+use std::sync::{Arc, OnceLock};
+
+static ENV_RECORDER: OnceLock<Option<Arc<AggregateRecorder>>> = OnceLock::new();
+
+/// Install the `PROFILE_NODES` compatibility recorder if the variable is
+/// set and nothing else was installed. Idempotent and cheap after the
+/// first call (a single `OnceLock` load), so executors may call it on
+/// every run.
+pub fn maybe_init_from_env() {
+    ENV_RECORDER.get_or_init(|| {
+        let wants_profile =
+            std::env::var_os("PROFILE_NODES").is_some_and(|v| !v.is_empty() && v != "0");
+        if !wants_profile || crate::enabled() {
+            return None;
+        }
+        let rec = Arc::new(AggregateRecorder::new().streaming());
+        crate::install(rec.clone());
+        Some(rec)
+    });
+}
+
+/// The summary aggregated by the env-installed recorder, if
+/// `PROFILE_NODES` activated one. Exporters (bench binaries) use this to
+/// print the table at the end of a run.
+pub fn installed_summary() -> Option<crate::Summary> {
+    ENV_RECORDER
+        .get()
+        .and_then(|r| r.as_ref())
+        .map(|r| r.summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_without_env_var_is_inert() {
+        // The test harness never sets PROFILE_NODES; the bootstrap must
+        // leave recording disabled and report no summary.
+        std::env::remove_var("PROFILE_NODES");
+        maybe_init_from_env();
+        maybe_init_from_env(); // idempotent
+        assert!(installed_summary().is_none());
+    }
+}

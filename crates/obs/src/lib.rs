@@ -1,0 +1,222 @@
+//! # autograph-obs
+//!
+//! The observability layer for the AutoGraph reproduction: structured
+//! span timers, monotonic counters and duration histograms behind a
+//! pluggable [`Recorder`], plus exporters — a human-readable summary
+//! table sorted by self-time and a Chrome `chrome://tracing` JSON trace.
+//!
+//! ## Design
+//!
+//! Instrumented code calls the free functions in this crate
+//! ([`span`], [`count`], [`observe`], [`emit_print`]). When no recorder
+//! is installed every one of them is a **single branch on a relaxed
+//! [`AtomicBool`]** — no allocation, no locking, no syscalls — so the
+//! hot paths of the graph executor and eager runtime pay nothing in
+//! normal operation. Installing a recorder ([`install`]) flips the flag
+//! and routes events to it; [`uninstall`] flips it back.
+//!
+//! Three recorders ship with the crate:
+//!
+//! * [`AggregateRecorder`] — in-memory per-key histograms and counters;
+//!   renders the per-op `count / total / mean / p99` summary table.
+//! * [`TraceRecorder`] — buffers begin/end events and writes a Chrome
+//!   trace (`chrome://tracing` / Perfetto "load trace" compatible).
+//! * [`StreamingRecorder`] — prints one line per span as it closes
+//!   (the old `PROFILE_NODES` output format).
+//!
+//! [`FanoutRecorder`] composes any of them. `PROFILE_NODES=1` keeps
+//! working: [`env::maybe_init_from_env`] installs a streaming +
+//! aggregate pair the first time an executor runs (see that module).
+
+pub mod chrome;
+pub mod env;
+pub mod metrics;
+pub mod recorder;
+
+pub use chrome::TraceRecorder;
+pub use metrics::{AggregateRecorder, Histogram, Summary};
+pub use recorder::{FanoutRecorder, Recorder, StreamingRecorder};
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Whether a recorder is installed. Inlined to a single relaxed atomic
+/// load — the only cost instrumented code pays when profiling is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `recorder` as the process-wide sink and enable recording.
+pub fn install(recorder: Arc<dyn Recorder>) {
+    let mut slot = RECORDER.write().expect("obs recorder lock");
+    *slot = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disable recording and return the previously installed recorder.
+pub fn uninstall() -> Option<Arc<dyn Recorder>> {
+    ENABLED.store(false, Ordering::Release);
+    RECORDER.write().expect("obs recorder lock").take()
+}
+
+/// Run `f` against the installed recorder, if any.
+#[inline]
+pub fn with_recorder(f: impl FnOnce(&dyn Recorder)) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(guard) = RECORDER.read() {
+        if let Some(r) = guard.as_ref() {
+            f(r.as_ref());
+        }
+    }
+}
+
+/// Nanoseconds since the first observability event in this process
+/// (the trace epoch).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A small dense id for the current thread (Chrome traces want an
+/// integer `tid`).
+pub fn thread_lane() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static LANE: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    LANE.with(|l| *l)
+}
+
+/// An open span: records `(category, name, start, duration)` to the
+/// installed recorder when dropped.
+#[must_use = "a span records its duration when dropped"]
+pub struct Span {
+    cat: &'static str,
+    name: Cow<'static, str>,
+    start_ns: u64,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        let (cat, start_ns) = (self.cat, self.start_ns);
+        let name = std::mem::replace(&mut self.name, Cow::Borrowed(""));
+        with_recorder(|r| r.span(cat, &name, start_ns, dur_ns));
+    }
+}
+
+/// Open a span with a `'static` name. Returns `None` (and does nothing
+/// else) when no recorder is installed.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Option<Span> {
+    if !enabled() {
+        return None;
+    }
+    Some(begin(cat, Cow::Borrowed(name)))
+}
+
+/// Open a span with a runtime-constructed name. The allocation happens
+/// only when recording is enabled.
+#[inline]
+pub fn span_dyn(cat: &'static str, name: impl FnOnce() -> String) -> Option<Span> {
+    if !enabled() {
+        return None;
+    }
+    Some(begin(cat, Cow::Owned(name())))
+}
+
+fn begin(cat: &'static str, name: Cow<'static, str>) -> Span {
+    Span {
+        cat,
+        name,
+        start_ns: now_ns(),
+        start: Instant::now(),
+    }
+}
+
+/// Bump the monotonic counter `category/name` by `delta`.
+#[inline]
+pub fn count(cat: &'static str, name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.count(cat, name, delta));
+}
+
+/// Record one observation of a value distribution (loop iteration
+/// counts, tape lengths, size deltas, ...).
+#[inline]
+pub fn observe(cat: &'static str, name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.observe(cat, name, value));
+}
+
+/// Offer a `print`-op line to the recorder. Returns `true` if the
+/// recorder captured it (the caller must then *not* write it to
+/// stdout), `false` when it should go to stdout as usual.
+#[inline]
+pub fn emit_print(line: &str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let mut captured = false;
+    with_recorder(|r| captured = r.print_line(line));
+    captured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global recorder slot is process-wide, so exercise the full
+    // install → record → uninstall cycle inside one test to avoid
+    // cross-test interference.
+    #[test]
+    fn disabled_paths_are_inert_and_install_cycle_works() {
+        assert!(!enabled());
+        assert!(span("t", "noop").is_none());
+        assert!(!emit_print("dropped"));
+        count("t", "c", 1);
+        observe("t", "o", 1);
+
+        let agg = Arc::new(AggregateRecorder::new().capture_prints());
+        install(agg.clone());
+        assert!(enabled());
+        {
+            let _s = span("t", "work");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        count("t", "c", 2);
+        observe("t", "o", 41);
+        assert!(emit_print("captured line"));
+
+        let prev = uninstall().expect("was installed");
+        assert!(!enabled());
+        drop(prev);
+
+        let summary = agg.summary();
+        let row = summary.row("t/work").expect("span row");
+        assert_eq!(row.count, 1);
+        assert!(
+            row.total_ns >= 1_000_000,
+            "slept ≥ 1ms, got {}",
+            row.total_ns
+        );
+        assert_eq!(summary.counter("t/c"), Some(2));
+        assert_eq!(agg.printed(), vec!["captured line".to_string()]);
+        // values recorded after uninstall are dropped
+        count("t", "c", 100);
+        assert_eq!(agg.summary().counter("t/c"), Some(2));
+    }
+}

@@ -1,0 +1,417 @@
+//! In-memory aggregation: log-bucketed histograms, saturating counters,
+//! and the per-op summary table exporter.
+
+use crate::recorder::Recorder;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets: 16 exact small-value buckets plus 4
+/// sub-buckets per power of two up to `u64::MAX`.
+const BUCKETS: usize = 16 + 60 * 4;
+
+/// A duration/value histogram with bounded (≤ 12.5%) relative error.
+///
+/// Values 0..16 are exact; larger values land in one of four
+/// logarithmically spaced sub-buckets per power of two, so recording is
+/// allocation-free and O(1) regardless of the value range.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    /// Saturating sum of all recorded values.
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (exp - 2)) & 0b11) as usize;
+        16 + (exp - 4) * 4 + sub
+    }
+}
+
+fn bucket_representative(idx: usize) -> u64 {
+    if idx < 16 {
+        idx as u64
+    } else {
+        let exp = 4 + (idx - 16) / 4;
+        let sub = ((idx - 16) % 4) as u64;
+        let base = 1u64 << exp;
+        let quarter = base / 4;
+        // midpoint of the sub-bucket [base + sub*quarter, base + (sub+1)*quarter)
+        base + sub * quarter + quarter / 2
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value. Counts and totals saturate instead of wrapping.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] = self.buckets[bucket_index(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.total = self.total.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`), clamped to the
+    /// observed `[min, max]`. Within 12.5% of the exact answer.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // rank of the target observation, 1-based
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_representative(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One row of the summary table.
+#[derive(Debug, Clone)]
+pub struct SummaryRow {
+    /// `category/name` key.
+    pub key: String,
+    /// Observations.
+    pub count: u64,
+    /// Total nanoseconds (or raw value sum for `observe` series).
+    pub total_ns: u64,
+    /// Mean value.
+    pub mean_ns: f64,
+    /// Estimated 99th percentile.
+    pub p99_ns: u64,
+    /// Largest observation.
+    pub max_ns: u64,
+}
+
+/// A point-in-time aggregate snapshot: histogram rows plus counters.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Histogram rows, sorted by total descending (self-time order).
+    pub rows: Vec<SummaryRow>,
+    /// Counter values by `category/name`.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Summary {
+    /// Find a row by its `category/name` key.
+    pub fn row(&self, key: &str) -> Option<&SummaryRow> {
+        self.rows.iter().find(|r| r.key == key)
+    }
+
+    /// Find a counter by its `category/name` key.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Render the human-readable table (count / total / mean / p99 per
+    /// key, sorted by total time; counters below).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>10} {:>14} {:>12} {:>12}\n",
+            "span", "count", "total", "mean", "p99"
+        ));
+        out.push_str(&"-".repeat(92));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<40} {:>10} {:>14} {:>12} {:>12}\n",
+                r.key,
+                r.count,
+                fmt_ns(r.total_ns as f64),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.p99_ns as f64),
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+            out.push_str(&format!("{:<40} {:>10}\n", "counter", "value"));
+            out.push_str(&"-".repeat(51));
+            out.push('\n');
+            for (k, v) in &self.counters {
+                out.push_str(&format!("{k:<40} {v:>10}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Format nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[derive(Default)]
+struct AggregateState {
+    hists: HashMap<String, Histogram>,
+    counters: HashMap<String, u64>,
+    prints: Vec<String>,
+}
+
+/// The in-memory aggregate recorder: histograms per span/observe key,
+/// saturating counters, optional print capture and optional streaming
+/// of span lines to stderr (the `PROFILE_NODES` compatibility path).
+#[derive(Default)]
+pub struct AggregateRecorder {
+    state: Mutex<AggregateState>,
+    capture_prints: bool,
+    stream_spans: bool,
+}
+
+impl AggregateRecorder {
+    /// An aggregate recorder with no capture and no streaming.
+    pub fn new() -> AggregateRecorder {
+        AggregateRecorder::default()
+    }
+
+    /// Also capture `print`-op lines (tests assert on [`Self::printed`]).
+    pub fn capture_prints(mut self) -> AggregateRecorder {
+        self.capture_prints = true;
+        self
+    }
+
+    /// Also stream `PROF <name> <ns>ns` lines to stderr per span, the
+    /// old `PROFILE_NODES=1` output format.
+    pub fn streaming(mut self) -> AggregateRecorder {
+        self.stream_spans = true;
+        self
+    }
+
+    /// Captured print lines, in emission order.
+    pub fn printed(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .expect("obs aggregate lock")
+            .prints
+            .clone()
+    }
+
+    /// Snapshot the aggregates, rows sorted by total time descending.
+    pub fn summary(&self) -> Summary {
+        let state = self.state.lock().expect("obs aggregate lock");
+        let mut rows: Vec<SummaryRow> = state
+            .hists
+            .iter()
+            .map(|(key, h)| SummaryRow {
+                key: key.clone(),
+                count: h.count(),
+                total_ns: h.total(),
+                mean_ns: h.mean(),
+                p99_ns: h.quantile(0.99),
+                max_ns: h.max(),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.key.cmp(&b.key)));
+        let mut counters: Vec<(String, u64)> = state
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        counters.sort();
+        Summary { rows, counters }
+    }
+}
+
+impl Recorder for AggregateRecorder {
+    fn span(&self, cat: &'static str, name: &str, _start_ns: u64, dur_ns: u64) {
+        if self.stream_spans {
+            eprintln!("PROF {name} {dur_ns}ns");
+        }
+        let mut state = self.state.lock().expect("obs aggregate lock");
+        state
+            .hists
+            .entry(format!("{cat}/{name}"))
+            .or_default()
+            .record(dur_ns);
+    }
+
+    fn count(&self, cat: &'static str, name: &'static str, delta: u64) {
+        let mut state = self.state.lock().expect("obs aggregate lock");
+        let c = state.counters.entry(format!("{cat}/{name}")).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    fn observe(&self, cat: &'static str, name: &'static str, value: u64) {
+        let mut state = self.state.lock().expect("obs aggregate lock");
+        state
+            .hists
+            .entry(format!("{cat}/{name}"))
+            .or_default()
+            .record(value);
+    }
+
+    fn print_line(&self, line: &str) -> bool {
+        if !self.capture_prints {
+            return false;
+        }
+        let mut state = self.state.lock().expect("obs aggregate lock");
+        state.prints.push(line.to_string());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for v in [0u64, 1, 5, 15, 16, 100, 1_000, 123_456, u64::MAX / 2] {
+            let rep = bucket_representative(bucket_index(v));
+            let err = (rep as f64 - v as f64).abs() / (v.max(1) as f64);
+            assert!(err <= 0.125, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.total(), 16);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.quantile(0.0), 3);
+    }
+
+    #[test]
+    fn percentiles_on_uniform_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 <= 0.15, "p50={p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 <= 0.15, "p99={p99}");
+        assert!(h.quantile(0.999) <= h.max());
+    }
+
+    #[test]
+    fn quantile_clamped_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(1_000);
+        // one observation: every quantile is that observation's bucket,
+        // clamped into [min, max]
+        assert_eq!(h.quantile(0.99), 1_000);
+        assert_eq!(h.quantile(0.01), 1_000);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let r = AggregateRecorder::new();
+        r.count("c", "n", u64::MAX - 1);
+        r.count("c", "n", 5);
+        assert_eq!(r.summary().counter("c/n"), Some(u64::MAX));
+        // histogram totals saturate too
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.total(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn summary_sorted_by_total_and_renders() {
+        let r = AggregateRecorder::new();
+        r.span("graph_op", "matmul", 0, 900);
+        r.span("graph_op", "matmul", 0, 1_100);
+        r.span("graph_op", "add", 0, 10);
+        r.count("session", "plan_hit", 3);
+        let s = r.summary();
+        assert_eq!(s.rows[0].key, "graph_op/matmul");
+        assert_eq!(s.rows[0].count, 2);
+        assert_eq!(s.rows[0].total_ns, 2_000);
+        let table = s.render_table();
+        assert!(table.contains("graph_op/matmul"), "{table}");
+        assert!(table.contains("session/plan_hit"), "{table}");
+        assert!(table.contains("p99"), "{table}");
+    }
+}

@@ -1,0 +1,118 @@
+//! The [`Recorder`] trait and the streaming / fan-out implementations.
+
+/// A sink for observability events. Implementations must be cheap and
+/// thread-safe: the executor may emit spans from multiple threads.
+pub trait Recorder: Send + Sync {
+    /// A closed span: `cat/name` ran for `dur_ns`, starting at
+    /// `start_ns` on the trace clock ([`crate::now_ns`]).
+    fn span(&self, cat: &'static str, name: &str, start_ns: u64, dur_ns: u64);
+
+    /// Bump the counter `cat/name` by `delta`.
+    fn count(&self, cat: &'static str, name: &'static str, delta: u64);
+
+    /// One observation of the distribution `cat/name`.
+    fn observe(&self, cat: &'static str, name: &'static str, value: u64);
+
+    /// Offer a `print`-op line. Return `true` to capture it (suppressing
+    /// the default stdout write). The default sink captures nothing.
+    fn print_line(&self, _line: &str) -> bool {
+        false
+    }
+}
+
+/// Prints one line per span as it closes, in the format the old
+/// `PROFILE_NODES` env hack used (`PROF <name> <dur>ns` on stderr).
+/// Optionally restricted to one category.
+#[derive(Debug, Default)]
+pub struct StreamingRecorder {
+    only_cat: Option<&'static str>,
+}
+
+impl StreamingRecorder {
+    /// Stream every span.
+    pub fn new() -> StreamingRecorder {
+        StreamingRecorder::default()
+    }
+
+    /// Stream only spans in `cat` (e.g. `"graph_op"` for the
+    /// `PROFILE_NODES` compatibility output).
+    pub fn only(cat: &'static str) -> StreamingRecorder {
+        StreamingRecorder {
+            only_cat: Some(cat),
+        }
+    }
+}
+
+impl Recorder for StreamingRecorder {
+    fn span(&self, cat: &'static str, name: &str, _start_ns: u64, dur_ns: u64) {
+        if self.only_cat.is_none_or(|c| c == cat) {
+            eprintln!("PROF {name} {dur_ns}ns");
+        }
+    }
+
+    fn count(&self, _cat: &'static str, _name: &'static str, _delta: u64) {}
+
+    fn observe(&self, _cat: &'static str, _name: &'static str, _value: u64) {}
+}
+
+/// Forwards every event to each inner recorder. A print line counts as
+/// captured if *any* inner recorder captures it.
+pub struct FanoutRecorder {
+    inner: Vec<std::sync::Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// Compose `recorders` into one.
+    pub fn new(recorders: Vec<std::sync::Arc<dyn Recorder>>) -> FanoutRecorder {
+        FanoutRecorder { inner: recorders }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn span(&self, cat: &'static str, name: &str, start_ns: u64, dur_ns: u64) {
+        for r in &self.inner {
+            r.span(cat, name, start_ns, dur_ns);
+        }
+    }
+
+    fn count(&self, cat: &'static str, name: &'static str, delta: u64) {
+        for r in &self.inner {
+            r.count(cat, name, delta);
+        }
+    }
+
+    fn observe(&self, cat: &'static str, name: &'static str, value: u64) {
+        for r in &self.inner {
+            r.observe(cat, name, value);
+        }
+    }
+
+    fn print_line(&self, line: &str) -> bool {
+        let mut captured = false;
+        for r in &self.inner {
+            captured |= r.print_line(line);
+        }
+        captured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::AggregateRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn fanout_reaches_all_and_ors_print_capture() {
+        let a = Arc::new(AggregateRecorder::new());
+        let b = Arc::new(AggregateRecorder::new().capture_prints());
+        let fan = FanoutRecorder::new(vec![a.clone(), b.clone()]);
+        fan.span("c", "s", 0, 10);
+        fan.count("c", "n", 3);
+        assert!(fan.print_line("x"), "one sink captures");
+        assert_eq!(a.summary().row("c/s").unwrap().count, 1);
+        assert_eq!(b.summary().counter("c/n"), Some(3));
+        assert_eq!(b.printed(), vec!["x".to_string()]);
+        assert!(a.printed().is_empty());
+    }
+}

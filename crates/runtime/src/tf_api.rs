@@ -743,7 +743,11 @@ pub fn lookup(name: &str) -> Option<Value> {
             match &v {
                 Value::GraphNode { .. } => i.graph_op(OpKind::Print("tf.print: ".into()), &[v]),
                 other => {
-                    println!("{}", other.render());
+                    let line = other.render();
+                    // tests/profilers capture eager prints via the obs sink
+                    if !autograph_obs::emit_print(&line) {
+                        println!("{line}");
+                    }
                     Ok(Value::None)
                 }
             }

@@ -17,7 +17,8 @@
 use crate::context::PassContext;
 use crate::error::ConversionError;
 use crate::srcmap::SourceMap;
-use autograph_pylang::Module;
+use autograph_obs as obs;
+use autograph_pylang::{Module, Stmt, StmtKind};
 
 /// Options controlling conversion, the analog of `ag.convert()`'s keyword
 /// arguments.
@@ -64,29 +65,76 @@ pub fn convert_module(
 ) -> Result<Converted, ConversionError> {
     let mut ctx = PassContext::new();
     let mut m = module;
-    m = crate::directives::run(m, &mut ctx)?;
-    m = crate::break_stmt::run(m, &mut ctx)?;
-    m = crate::continue_stmt::run(m, &mut ctx)?;
-    m = crate::return_stmt::run(m, &mut ctx)?;
-    m = crate::asserts::run(m, &mut ctx)?;
-    m = crate::lists::run(m, &mut ctx)?;
-    m = crate::slices::run(m, &mut ctx)?;
+    m = run_pass("directives", m, &mut ctx, crate::directives::run)?;
+    m = run_pass("break_stmt", m, &mut ctx, crate::break_stmt::run)?;
+    m = run_pass("continue_stmt", m, &mut ctx, crate::continue_stmt::run)?;
+    m = run_pass("return_stmt", m, &mut ctx, crate::return_stmt::run)?;
+    m = run_pass("asserts", m, &mut ctx, crate::asserts::run)?;
+    m = run_pass("lists", m, &mut ctx, crate::lists::run)?;
+    m = run_pass("slices", m, &mut ctx, crate::slices::run)?;
     if config.convert_calls {
-        m = crate::calls::run(m, &mut ctx)?;
+        m = run_pass("calls", m, &mut ctx, crate::calls::run)?;
     }
     if config.convert_control_flow {
-        m = crate::control_flow::run(m, &mut ctx)?;
-        m = crate::control_flow::run_ternary(m, &mut ctx)?;
+        m = run_pass("control_flow", m, &mut ctx, crate::control_flow::run)?;
+        m = run_pass("ternary", m, &mut ctx, crate::control_flow::run_ternary)?;
     }
     if config.convert_logical {
-        m = crate::logical::run(m, &mut ctx)?;
+        m = run_pass("logical", m, &mut ctx, crate::logical::run)?;
     }
-    m = crate::wrappers::run(m, &mut ctx)?;
+    m = run_pass("wrappers", m, &mut ctx, crate::wrappers::run)?;
     let source_map = SourceMap::build(&m);
     Ok(Converted {
         module: m,
         source_map,
     })
+}
+
+/// Run one pass, recording its wall time (span `transform_pass/<name>`)
+/// and the statement-count growth it caused (`transform/stmts_added`,
+/// `transform/ast_stmts_after`) when a recorder is installed. With
+/// profiling off this is a direct call behind one atomic load.
+fn run_pass(
+    name: &'static str,
+    m: Module,
+    ctx: &mut PassContext,
+    pass: impl FnOnce(Module, &mut PassContext) -> Result<Module, ConversionError>,
+) -> Result<Module, ConversionError> {
+    if !obs::enabled() {
+        return pass(m, ctx);
+    }
+    let before = module_stmt_count(&m);
+    let out = {
+        let _span = obs::span("transform_pass", name);
+        pass(m, ctx)?
+    };
+    let after = module_stmt_count(&out);
+    obs::observe("transform", "ast_stmts_after", after as u64);
+    obs::count(
+        "transform",
+        "stmts_added",
+        after.saturating_sub(before) as u64,
+    );
+    Ok(out)
+}
+
+/// Recursive statement count — the AST-size metric reported per pass.
+fn module_stmt_count(m: &Module) -> usize {
+    fn count(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| {
+                1 + match &s.kind {
+                    StmtKind::FunctionDef { body, .. }
+                    | StmtKind::While { body, .. }
+                    | StmtKind::For { body, .. } => count(body),
+                    StmtKind::If { body, orelse, .. } => count(body) + count(orelse),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    count(&m.body)
 }
 
 /// Convert source text end-to-end (parse, convert, render) — the

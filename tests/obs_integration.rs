@@ -1,0 +1,66 @@
+//! End-to-end observability: convert imperative source, stage it to a
+//! graph, run it under an installed recorder, and check the metrics the
+//! executor reported — most importantly the staged `While` iteration
+//! count, which is invisible from the outside (one `Session::run` call
+//! regardless of trip count).
+
+use autograph::prelude::*;
+use autograph_obs as obs;
+use std::sync::Arc;
+
+// One test function: the recorder registry is process-global, and the
+// default test harness runs #[test] fns in parallel threads.
+#[test]
+fn staged_while_loop_reports_iteration_count() {
+    let src = "\
+def f(x):
+    while tf.reduce_sum(x) < 7.0:
+        x = x + 1.0
+    return x
+";
+    let mut rt = Runtime::load(src, true).expect("load");
+    let staged = rt
+        .stage_to_graph("f", vec![GraphArg::Placeholder("x".to_string())])
+        .expect("stage");
+    let mut sess = Session::new(staged.graph);
+
+    let rec = Arc::new(obs::AggregateRecorder::new());
+    assert!(!obs::enabled(), "no recorder installed yet");
+    obs::install(rec.clone());
+
+    let feeds = [("x", Tensor::scalar_f32(0.0))];
+    let out = sess.run(&feeds, &staged.outputs).expect("staged run");
+    sess.run(&feeds, &staged.outputs).expect("second run");
+
+    obs::uninstall();
+    assert!(!obs::enabled(), "uninstall disables recording");
+
+    assert_eq!(out[0].scalar_value_f32().unwrap(), 7.0);
+
+    let summary = rec.summary();
+    // x goes 0→7 one step at a time: exactly 7 iterations, both runs
+    let iters = summary
+        .row("graph/while_iters")
+        .expect("while_iters recorded");
+    assert_eq!(iters.count, 2, "one While execution per run");
+    assert_eq!(iters.total_ns, 14, "7 iterations each run");
+
+    // per-op kernel spans were recorded under graph_op/<mnemonic>
+    assert!(
+        summary.rows.iter().any(|r| r.key.starts_with("graph_op/")),
+        "expected graph_op spans, got: {:?}",
+        summary.rows.iter().map(|r| &r.key).collect::<Vec<_>>()
+    );
+
+    // the session compiled the fetch set once and reused it once
+    assert_eq!(summary.counter("session/plan_cache_miss"), Some(1));
+    assert_eq!(summary.counter("session/plan_cache_hit"), Some(1));
+    assert_eq!(sess.stats().plan_cache_misses, 1);
+    assert_eq!(sess.stats().plan_cache_hits, 1);
+
+    // nothing leaks into later runs: a fresh run records nothing new
+    let before = rec.summary().counter("graph/node_evals");
+    sess.run(&feeds, &staged.outputs)
+        .expect("uninstrumented run");
+    assert_eq!(rec.summary().counter("graph/node_evals"), before);
+}

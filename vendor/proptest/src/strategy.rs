@@ -1,0 +1,249 @@
+//! The `Strategy` trait and combinators (map / flat-map / recursion /
+//! weighted union / boxing), plus range, tuple and constant strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the test RNG state.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone + 'static,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + Clone + 'static,
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Build recursive values: `self` generates leaves, `recurse` wraps a
+    /// strategy for depth `d` into one for depth `d + 1`. The size hints
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + Clone + 'static,
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![(1, leaf.clone()), (1, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of a strategy, for [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn gen_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen(rng)
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn gen(&self, rng: &mut TestRng) -> V {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone + 'static> Strategy for Just<V> {
+    type Value = V;
+    fn gen(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone + 'static,
+{
+    type Value = O;
+    fn gen(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// `Strategy::prop_flat_map` adapter.
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2 + Clone + 'static,
+{
+    type Value = S2::Value;
+    fn gen(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen(rng)).gen(rng)
+    }
+}
+
+/// Weighted choice between strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<V: 'static> Strategy for Union<V> {
+    type Value = V;
+    fn gen(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.gen(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = rng.below(span as u64) as i128;
+                    ((self.start as i128) + off) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    let off = rng.below(span as u64) as i128;
+                    ((*self.start() as i128) + off) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn gen(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.gen(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));

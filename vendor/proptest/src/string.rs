@@ -1,0 +1,101 @@
+//! String strategies from regex-like literals.
+//!
+//! Real proptest accepts any regex; this stand-in supports the single
+//! shape the test suite uses — one character class with a bounded
+//! repetition, `[class]{min,max}` — and panics on anything else so an
+//! unsupported pattern fails loudly rather than generating garbage.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_repeat(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parse `[class]{min,max}` into (alphabet, min, max).
+///
+/// # Panics
+///
+/// Panics on any other pattern shape.
+fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn unsupported(pattern: &str) -> ! {
+        panic!("unsupported regex strategy pattern: {pattern:?}")
+    }
+    let Some(rest) = pattern.strip_prefix('[') else {
+        unsupported(pattern)
+    };
+    let Some((class, rest)) = rest.split_once(']') else {
+        unsupported(pattern)
+    };
+    let Some(counts) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        unsupported(pattern)
+    };
+    let Some((lo, hi)) = counts.split_once(',') else {
+        unsupported(pattern)
+    };
+    let Ok(min) = lo.trim().parse::<usize>() else {
+        unsupported(pattern)
+    };
+    let Ok(max) = hi.trim().parse::<usize>() else {
+        unsupported(pattern)
+    };
+    assert!(min <= max, "bad repetition in {pattern:?}");
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\\' && i + 1 < chars.len() {
+            alphabet.push(match chars[i + 1] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            });
+            i += 2;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (c, chars[i + 2]);
+            assert!(lo <= hi, "bad char range in {pattern:?}");
+            for code in lo as u32..=hi as u32 {
+                alphabet.extend(char::from_u32(code));
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty char class in {pattern:?}");
+    (alphabet, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let (alpha, min, max) = parse_class_repeat(r"[a-c\n-]{0,5}");
+        assert!(alpha.contains(&'a') && alpha.contains(&'c'));
+        assert!(alpha.contains(&'\n') && alpha.contains(&'-'));
+        assert_eq!((min, max), (0, 5));
+    }
+
+    #[test]
+    fn generates_within_bounds() {
+        let mut rng = TestRng::for_test("strings");
+        for _ in 0..200 {
+            let s = r"[a-z0-9 :=+*()<>\n-]{0,150}".gen(&mut rng);
+            assert!(s.chars().count() <= 150);
+        }
+    }
+}
