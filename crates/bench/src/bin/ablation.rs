@@ -145,6 +145,7 @@ fn ablate_amortize(args: &HarnessArgs) {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.apply_threads();
     let profiler = args.profiler();
     let which = args.rest.first().map(String::as_str).unwrap_or("all");
     match which {

@@ -183,6 +183,7 @@ fn bench_seq2seq(args: &HarnessArgs) {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.apply_threads();
     let profiler = args.profiler();
     let which = args.rest.first().map(String::as_str).unwrap_or("all");
     match which {

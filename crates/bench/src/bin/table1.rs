@@ -10,6 +10,7 @@ use autograph_models::rnn;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let threads = args.apply_threads();
     let profiler = args.profiler();
     let (hidden, feat, seqs, batches) = if args.full {
         (256, 64, vec![64, 128], vec![32, 64, 128])
@@ -84,5 +85,86 @@ fn main() {
     }
     rule(header.len());
     println!("\nPaper shape: Eager slowest by ~2-3x; Official ≈ Handwritten ≈ AutoGraph.");
+
+    multi_branch_section(&args, threads, hidden, feat, warmup, runs);
     profiler.finish();
+}
+
+/// Parallel-executor workload: K independent RNN `While` branches in one
+/// graph, measured single-threaded and with the configured thread count.
+/// Fetch outputs must be bitwise identical; the speedup (and machine
+/// parallelism) go to stdout and optionally `--json`.
+fn multi_branch_section(
+    args: &HarnessArgs,
+    threads: usize,
+    hidden: usize,
+    feat: usize,
+    warmup: usize,
+    runs: usize,
+) {
+    let branches = 4;
+    let (seq, batch) = if args.full { (64, 64) } else { (16, 8) };
+    let weights: Vec<rnn::RnnWeights> = (0..branches)
+        .map(|k| rnn::RnnWeights::new(feat, hidden, 100 + k as u64))
+        .collect();
+    let inp = rnn::inputs(batch, seq, feat, hidden, 7);
+    let feeds = [
+        ("input_data", inp.input_data.clone()),
+        ("initial_state", inp.initial_state.clone()),
+        ("sequence_len", inp.sequence_len.clone()),
+    ];
+    let (g, fetches) = rnn::build_multi_branch(&weights);
+
+    println!(
+        "\nParallel executor: {branches} independent RNN branches (seq {seq} / batch {batch})"
+    );
+    let mut sess1 = Session::new(g.clone());
+    sess1.set_threads(1);
+    let out1 = sess1.run(&feeds, &fetches).expect("single-threaded run");
+    let s1 = measure(warmup, runs, || {
+        sess1.run(&feeds, &fetches).expect("single-threaded run");
+    });
+
+    let mut sess_n = Session::new(g);
+    sess_n.set_threads(threads);
+    let out_n = sess_n.run(&feeds, &fetches).expect("parallel run");
+    let sn = measure(warmup, runs, || {
+        sess_n.run(&feeds, &fetches).expect("parallel run");
+    });
+
+    // determinism gate: parallel fetches must be bitwise identical
+    let mut identical = true;
+    for (a, b) in out1.iter().zip(&out_n) {
+        let (av, bv) = (a.as_f32().expect("f32"), b.as_f32().expect("f32"));
+        identical &=
+            a.shape() == b.shape() && av.iter().zip(bv).all(|(x, y)| x.to_bits() == y.to_bits());
+    }
+    assert!(identical, "parallel run diverged from single-threaded run");
+
+    let speedup = s1.mean / sn.mean;
+    row(
+        "threads=1",
+        &[format!("{:.3} ms", s1.mean * 1e3), String::new()],
+    );
+    row(
+        &format!("threads={threads}"),
+        &[
+            format!("{:.3} ms", sn.mean * 1e3),
+            format!("{speedup:.2}x speedup"),
+        ],
+    );
+    println!("fetch outputs bitwise identical: {identical}");
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"bench\": \"table1_multi_branch\",\n  \"branches\": {branches},\n  \"seq\": {seq},\n  \"batch\": {batch},\n  \"threads\": {threads},\n  \"available_parallelism\": {},\n  \"seconds_threads_1\": {:.9},\n  \"seconds_threads_n\": {:.9},\n  \"speedup\": {speedup:.6},\n  \"bitwise_identical\": {identical}\n}}\n",
+            autograph_par::available_parallelism(),
+            s1.mean,
+            sn.mean,
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote parallel bench results to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
 }

@@ -10,6 +10,7 @@ use autograph_tensor::Tensor;
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.apply_threads();
     let profiler = args.profiler();
     let (batch, steps) = if args.full { (200, 1000) } else { (64, 100) };
     let warmup = 1;

@@ -10,6 +10,7 @@ use autograph_tensor::{Rng64, Tensor};
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.apply_threads();
     let profiler = args.profiler();
     let (dim, leaves, examples) = if args.full { (64, 24, 20) } else { (8, 16, 10) };
     let warmup = 1;

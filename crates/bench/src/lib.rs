@@ -87,8 +87,8 @@ pub fn rule(n: usize) {
     println!("{}", "-".repeat(34 + 22 * n));
 }
 
-/// Parse `--full` / `--runs N` / `--profile PATH` style flags from
-/// `std::env::args`.
+/// Parse `--full` / `--runs N` / `--profile PATH` / `--threads N` /
+/// `--json PATH` style flags from `std::env::args`.
 pub struct HarnessArgs {
     /// Use paper-scale workloads (slow) instead of laptop-scale defaults.
     pub full: bool,
@@ -97,6 +97,12 @@ pub struct HarnessArgs {
     /// Write a Chrome trace (`chrome://tracing` JSON) to this path and
     /// print a per-op summary table at exit.
     pub profile: Option<String>,
+    /// Executor thread count (`--threads N`); `None` leaves the session
+    /// default resolution (`AUTOGRAPH_THREADS`, then machine
+    /// parallelism) in effect.
+    pub threads: Option<usize>,
+    /// Write machine-readable results as JSON to this path (`--json`).
+    pub json: Option<String>,
     /// Remaining positional arguments.
     pub rest: Vec<String>,
 }
@@ -107,6 +113,8 @@ impl HarnessArgs {
         let mut full = false;
         let mut runs = 5;
         let mut profile = None;
+        let mut threads = None;
+        let mut json = None;
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -116,6 +124,8 @@ impl HarnessArgs {
                     runs = args.next().and_then(|v| v.parse().ok()).unwrap_or(runs);
                 }
                 "--profile" => profile = args.next(),
+                "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
+                "--json" => json = args.next(),
                 other => rest.push(other.to_string()),
             }
         }
@@ -123,8 +133,25 @@ impl HarnessArgs {
             full,
             runs,
             profile,
+            threads,
+            json,
             rest,
         }
+    }
+
+    /// Apply `--threads` to the process: raise the worker-pool budget and
+    /// set the session default so every `Session::run` in the benchmark
+    /// uses it. A no-op without the flag (sessions then fall back to
+    /// `AUTOGRAPH_THREADS` / machine parallelism).
+    pub fn apply_threads(&self) -> usize {
+        let n = self
+            .threads
+            .unwrap_or_else(autograph_par::available_parallelism);
+        if self.threads.is_some() {
+            autograph_par::configure(n);
+            autograph_graph::session::set_default_threads(n);
+        }
+        n
     }
 
     /// Start profiling if `--profile` was given. Call

@@ -24,6 +24,9 @@ pub struct ExecEnv<'a> {
 #[derive(Debug, Clone)]
 pub struct Plan {
     order: Vec<NodeId>,
+    /// Scheduling metadata (consumer lists, pending counts, control
+    /// edges) for the parallel executor; computed once at compile time.
+    wave: crate::sched::WaveMeta,
 }
 
 impl Plan {
@@ -52,8 +55,9 @@ impl Plan {
             stack.extend(graph.nodes[n].inputs.iter().copied());
         }
         // nodes are stored in creation order, which is already topological
-        let order = (0..graph.nodes.len()).filter(|&i| needed[i]).collect();
-        Ok(Plan { order })
+        let order: Vec<NodeId> = (0..graph.nodes.len()).filter(|&i| needed[i]).collect();
+        let wave = crate::sched::wave_meta(graph, order.clone());
+        Ok(Plan { order, wave })
     }
 
     /// Number of nodes the plan executes.
@@ -97,6 +101,31 @@ impl Plan {
                     .ok_or_else(|| GraphError::runtime(format!("fetch {f} was not computed")))
             })
             .collect()
+    }
+
+    /// Execute the plan with up to `threads` threads. `threads <= 1`
+    /// reproduces [`Plan::run`] exactly (same code path); larger values
+    /// dispatch ready nodes to the shared worker pool via the wavefront
+    /// scheduler in `crate::sched`. Results are bitwise identical at
+    /// any thread count — see the determinism notes in `sched.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns runtime errors annotated with the failing node's name and
+    /// staged source span; under parallel execution the first error wins
+    /// and remaining queued nodes are skipped.
+    pub fn run_threads(
+        &self,
+        graph: &Graph,
+        env: &mut ExecEnv<'_>,
+        fetches: &[NodeId],
+        threads: usize,
+    ) -> Result<Vec<GValue>> {
+        if threads <= 1 {
+            return self.run(graph, env, fetches);
+        }
+        autograph_par::configure(threads);
+        crate::sched::run_plan_parallel(graph, &self.wave, env, fetches)
     }
 }
 
@@ -224,7 +253,7 @@ fn eval_node(
     }
 }
 
-fn pack_outputs(mut outs: Vec<GValue>) -> GValue {
+pub(crate) fn pack_outputs(mut outs: Vec<GValue>) -> GValue {
     if outs.len() == 1 {
         outs.pop().expect("len checked")
     } else {
@@ -249,7 +278,7 @@ pub fn eval_subgraph(
 /// Pruned execution order for a subgraph: nodes reachable from its
 /// outputs, plus effectful nodes (asserts, prints, assigns) which execute
 /// unconditionally.
-fn subgraph_order(sub: &SubGraph) -> Vec<NodeId> {
+pub(crate) fn subgraph_order(sub: &SubGraph) -> Vec<NodeId> {
     let n = sub.graph.nodes.len();
     let mut needed = vec![false; n];
     let mut stack: Vec<NodeId> = sub.outputs.clone();

@@ -44,6 +44,7 @@ pub mod grad;
 pub mod ir;
 pub mod ops;
 pub mod optimize;
+pub(crate) mod sched;
 pub mod session;
 pub mod shapes;
 

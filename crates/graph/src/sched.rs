@@ -1,0 +1,522 @@
+//! The multi-threaded dataflow scheduler: a ready-queue/wavefront
+//! executor over the same graphs the sequential evaluator in
+//! [`crate::exec`] runs.
+//!
+//! ## Algorithm
+//!
+//! At plan-compile time each schedulable node set gets a [`WaveMeta`]:
+//! per-node consumer lists, initial pending-input counts (one per data
+//! edge plus one per control edge), and the source set (`pending == 0`).
+//! Execution seeds the shared worker pool (`autograph-par`) with the
+//! sources; every completed node decrements its consumers' pending
+//! counts and injects the ones that reach zero. The thread that owns the
+//! run *helps* — it pops and executes queued tasks until the run's live
+//! counter drains — so nested `While`/`Cond` bodies schedule through the
+//! same pool without deadlocking: waiting threads always contribute
+//! worker cycles instead of blocking.
+//!
+//! ## Stateful-op ordering (determinism)
+//!
+//! Pure nodes may run in any order — each consumes immutable inputs and
+//! produces its value exactly once, so results are bitwise identical to
+//! the sequential executor. Stateful ops are serialized per resource by
+//! explicit **control edges** added in creation (= program) order:
+//!
+//! * variable reads order after the preceding write; a write orders
+//!   after every read since the previous write (reads of the same
+//!   variable stay concurrent);
+//! * `Print`/`Assert` nodes form one chain, preserving output order;
+//! * a `Cond`/`While` node conservatively inherits every resource its
+//!   subgraphs touch, so e.g. two loops assigning the same variable
+//!   serialize while independent loops run concurrently.
+//!
+//! Subgraphs smaller than [`WAVEFRONT_MIN_NODES`] execute inline on the
+//! current thread (same storage, same kernels) to keep tiny loop bodies
+//! cheap.
+
+use crate::exec::{pack_outputs, subgraph_order, ExecEnv};
+use crate::ir::{GValue, Graph, NodeId, OpKind, SubGraph};
+use crate::ops;
+use crate::{GraphError, Result};
+use autograph_obs as obs;
+use autograph_par as par;
+use autograph_tensor::Tensor;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Minimum number of schedulable nodes for a (sub)graph to go through
+/// the wavefront scheduler; smaller sets run inline on the current
+/// thread (per-task queue overhead would dominate).
+const WAVEFRONT_MIN_NODES: usize = 8;
+
+/// Precomputed scheduling metadata for one node set (a plan's needed set
+/// or a subgraph's pruned order).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WaveMeta {
+    /// The node set in topological (creation) order.
+    order: Vec<NodeId>,
+    /// Downstream nodes per node: data-edge consumers plus control-edge
+    /// successors. Indexed by `NodeId`; only entries for `order` matter.
+    consumers: Vec<Vec<NodeId>>,
+    /// Initial pending count per node (data edges + control edges in).
+    pending0: Vec<u32>,
+    /// Nodes with no pending inputs — the initial wavefront.
+    sources: Vec<NodeId>,
+    /// Whether the set is large enough to schedule; when false only
+    /// `order` is populated and execution is inline.
+    wavefront: bool,
+}
+
+/// A stateful resource that forces ordering between nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Resource {
+    /// A named session variable (read = `Variable`, write = `Assign`).
+    Var(String),
+    /// The output stream shared by `Print` and `Assert` nodes.
+    Io,
+}
+
+/// Record `op`'s resource accesses into `acc` (`true` = write). Control
+/// flow recurses into its subgraphs so a `While`/`Cond` is ordered
+/// against everything its body touches.
+fn node_accesses(op: &OpKind, acc: &mut HashMap<Resource, bool>) {
+    fn touch(acc: &mut HashMap<Resource, bool>, res: Resource, write: bool) {
+        let e = acc.entry(res).or_insert(false);
+        *e = *e || write;
+    }
+    match op {
+        OpKind::Variable { name } => touch(acc, Resource::Var(name.clone()), false),
+        OpKind::Assign { name } => touch(acc, Resource::Var(name.clone()), true),
+        OpKind::Print(_) | OpKind::AssertOp(_) => touch(acc, Resource::Io, true),
+        OpKind::Cond { then_g, else_g } => {
+            graph_accesses(&then_g.graph, acc);
+            graph_accesses(&else_g.graph, acc);
+        }
+        OpKind::While { cond_g, body_g, .. } => {
+            graph_accesses(&cond_g.graph, acc);
+            graph_accesses(&body_g.graph, acc);
+        }
+        _ => {}
+    }
+}
+
+fn graph_accesses(g: &Graph, acc: &mut HashMap<Resource, bool>) {
+    for n in &g.nodes {
+        node_accesses(&n.op, acc);
+    }
+}
+
+/// Build scheduling metadata for `order` (a topologically sorted node
+/// subset of `graph` whose data inputs are all within the subset).
+pub(crate) fn wave_meta(graph: &Graph, order: Vec<NodeId>) -> WaveMeta {
+    if order.len() < WAVEFRONT_MIN_NODES {
+        return WaveMeta {
+            order,
+            ..WaveMeta::default()
+        };
+    }
+    let n = graph.nodes.len();
+    let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut pending = vec![0u32; n];
+    for &id in &order {
+        for &inp in &graph.nodes[id].inputs {
+            consumers[inp].push(id);
+            pending[id] += 1;
+        }
+    }
+    // control edges: per-resource chains in program order
+    struct Chain {
+        last_write: Option<NodeId>,
+        reads_since: Vec<NodeId>,
+    }
+    let mut chains: HashMap<Resource, Chain> = HashMap::new();
+    let mut acc: HashMap<Resource, bool> = HashMap::new();
+    for &id in &order {
+        acc.clear();
+        node_accesses(&graph.nodes[id].op, &mut acc);
+        for (res, write) in acc.drain() {
+            let chain = chains.entry(res).or_insert(Chain {
+                last_write: None,
+                reads_since: Vec::new(),
+            });
+            if write {
+                if chain.reads_since.is_empty() {
+                    if let Some(w) = chain.last_write {
+                        consumers[w].push(id);
+                        pending[id] += 1;
+                    }
+                } else {
+                    for &r in &chain.reads_since {
+                        consumers[r].push(id);
+                        pending[id] += 1;
+                    }
+                    chain.reads_since.clear();
+                }
+                chain.last_write = Some(id);
+            } else {
+                if let Some(w) = chain.last_write {
+                    consumers[w].push(id);
+                    pending[id] += 1;
+                }
+                chain.reads_since.push(id);
+            }
+        }
+    }
+    let sources = order.iter().copied().filter(|&i| pending[i] == 0).collect();
+    WaveMeta {
+        order,
+        consumers,
+        pending0: pending,
+        sources,
+        wavefront: true,
+    }
+}
+
+/// Shared mutable state for one parallel `Session::run`: feeds are
+/// read-only, the variable store sits behind a mutex (contention is
+/// bounded because variable ops are serialized by control edges anyway).
+struct ParCtx<'a> {
+    feeds: &'a HashMap<String, Tensor>,
+    vars: Mutex<HashMap<String, Tensor>>,
+}
+
+impl ParCtx<'_> {
+    fn lock_vars(&self) -> std::sync::MutexGuard<'_, HashMap<String, Tensor>> {
+        // a poisoned lock means a kernel panicked; the panic was already
+        // converted to a run error, the store itself is still consistent
+        self.vars
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// One (sub)graph execution: value slots, pending counts and completion
+/// accounting. Tasks reference the run through an erased pointer; the
+/// owner keeps it alive by helping until `live` drains to zero.
+struct ParRun<'r> {
+    graph: &'r Graph,
+    meta: &'r WaveMeta,
+    /// Subgraph arguments bound to `Param(i)` nodes (empty at top level).
+    args: &'r [GValue],
+    ctx: &'r ParCtx<'r>,
+    slots: Vec<OnceLock<GValue>>,
+    pending: Vec<AtomicU32>,
+    /// Tasks queued or running for this run.
+    live: AtomicUsize,
+    failed: AtomicBool,
+    err: Mutex<Option<GraphError>>,
+}
+
+impl<'r> ParRun<'r> {
+    fn new(
+        graph: &'r Graph,
+        meta: &'r WaveMeta,
+        args: &'r [GValue],
+        ctx: &'r ParCtx<'r>,
+    ) -> ParRun<'r> {
+        let n = graph.nodes.len();
+        ParRun {
+            graph,
+            meta,
+            args,
+            ctx,
+            slots: (0..n).map(|_| OnceLock::new()).collect(),
+            pending: meta.pending0.iter().map(|&p| AtomicU32::new(p)).collect(),
+            live: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
+            err: Mutex::new(None),
+        }
+    }
+
+    fn input_values(&self, id: NodeId) -> Result<Vec<GValue>> {
+        self.graph.nodes[id]
+            .inputs
+            .iter()
+            .map(|&i| {
+                self.slots[i]
+                    .get()
+                    .cloned()
+                    .ok_or_else(|| GraphError::runtime(format!("input node {i} not yet computed")))
+            })
+            .collect()
+    }
+
+    /// Evaluate one node (same semantics as the sequential
+    /// `exec::eval_node`, against the shared variable store).
+    fn eval(&self, id: NodeId) -> Result<GValue> {
+        let node = &self.graph.nodes[id];
+        let v = match &node.op {
+            OpKind::Placeholder { name } => self
+                .ctx
+                .feeds
+                .get(name)
+                .cloned()
+                .map(GValue::Tensor)
+                .ok_or_else(|| GraphError::runtime(format!("placeholder '{name}' was not fed"))),
+            OpKind::Variable { name } => self
+                .ctx
+                .lock_vars()
+                .get(name)
+                .cloned()
+                .map(GValue::Tensor)
+                .ok_or_else(|| {
+                    GraphError::runtime(format!("variable '{name}' is not initialized"))
+                }),
+            OpKind::Assign { name } => {
+                let inputs = self.input_values(id)?;
+                let v = inputs[0].as_tensor()?.clone();
+                self.ctx.lock_vars().insert(name.clone(), v.clone());
+                Ok(GValue::Tensor(v))
+            }
+            OpKind::Group => {
+                let inputs = self.input_values(id)?;
+                Ok(inputs.last().cloned().unwrap_or(GValue::Tuple(vec![])))
+            }
+            OpKind::Param(i) => self
+                .args
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| GraphError::runtime(format!("missing subgraph argument {i}"))),
+            OpKind::Cond { then_g, else_g } => {
+                let inputs = self.input_values(id)?;
+                let pred = ops::as_bool_scalar(&inputs[0])?;
+                if obs::enabled() {
+                    obs::count(
+                        "graph",
+                        if pred {
+                            "cond_then_taken"
+                        } else {
+                            "cond_else_taken"
+                        },
+                        1,
+                    );
+                }
+                let branch = if pred { then_g } else { else_g };
+                run_subgraph(self.ctx, branch, &inputs[1..]).map(pack_outputs)
+            }
+            OpKind::While {
+                cond_g,
+                body_g,
+                max_iters,
+            } => {
+                let state = self.input_values(id)?;
+                run_while(self.ctx, cond_g, body_g, state, *max_iters)
+            }
+            _ => {
+                let inputs = self.input_values(id)?;
+                if obs::enabled() {
+                    obs::count("graph", "node_evals", 1);
+                    let _span = obs::span("graph_op", node.op.mnemonic());
+                    ops::execute(&node.op, &inputs)
+                } else {
+                    ops::execute(&node.op, &inputs)
+                }
+            }
+        };
+        v.map_err(|e| e.at_node(node.name.clone()).at_span(node.span))
+    }
+
+    /// Evaluate `id` and store its value, recording the first failure.
+    /// After a failure the remaining nodes become no-ops so the queue
+    /// drains gracefully.
+    fn exec_store(&self, id: NodeId) {
+        if self.failed.load(Ordering::Acquire) {
+            return;
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.eval(id))) {
+            Ok(Ok(v)) => {
+                let _ = self.slots[id].set(v);
+            }
+            Ok(Err(e)) => self.fail(e),
+            Err(_) => self.fail(GraphError::runtime(format!(
+                "node '{}' panicked during parallel execution",
+                self.graph.nodes[id].name
+            ))),
+        }
+    }
+
+    fn fail(&self, e: GraphError) {
+        if let Ok(mut slot) = self.err.lock() {
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Task entry point for the worker pool.
+    ///
+    /// # Safety
+    ///
+    /// `data` must point to a live `ParRun` — guaranteed because the run
+    /// owner helps until `live == 0` before dropping it.
+    unsafe fn task_entry(data: *const (), id: usize) {
+        let run = unsafe { &*(data as *const ParRun<'_>) };
+        run.step(id);
+    }
+
+    /// Execute one node, then schedule any consumers it makes ready.
+    fn step(&self, id: NodeId) {
+        self.exec_store(id);
+        let mut ready: Vec<NodeId> = Vec::new();
+        for &c in &self.meta.consumers[id] {
+            if self.pending[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ready.push(c);
+            }
+        }
+        if !ready.is_empty() && !self.failed.load(Ordering::Acquire) {
+            // bump `live` BEFORE injecting so it never transiently hits
+            // zero while work remains
+            self.live.fetch_add(ready.len(), Ordering::Relaxed);
+            let data = self as *const ParRun<'_> as *const ();
+            // SAFETY: see `task_entry` — the run outlives its tasks.
+            unsafe {
+                par::inject(ready.into_iter().map(|c| par::Task {
+                    data,
+                    arg: c,
+                    run: Self::task_entry,
+                }));
+            }
+        }
+        self.live.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Run to completion: wavefront-schedule large sets, run small ones
+    /// inline in topological order.
+    fn execute(&self) {
+        if !self.meta.wavefront {
+            for &id in &self.meta.order {
+                if self.failed.load(Ordering::Acquire) {
+                    break;
+                }
+                self.exec_store(id);
+            }
+            return;
+        }
+        if self.meta.sources.is_empty() {
+            return;
+        }
+        self.live.store(self.meta.sources.len(), Ordering::Relaxed);
+        let data = self as *const ParRun<'_> as *const ();
+        // SAFETY: we help until `live == 0` below, so `self` outlives
+        // every injected task.
+        unsafe {
+            par::inject(self.meta.sources.iter().map(|&id| par::Task {
+                data,
+                arg: id,
+                run: Self::task_entry,
+            }));
+        }
+        par::help_until(|| self.live.load(Ordering::Acquire) == 0);
+    }
+
+    /// Collect `outputs` after [`ParRun::execute`], surfacing the first
+    /// recorded error.
+    fn finish(&self, outputs: &[NodeId]) -> Result<Vec<GValue>> {
+        if let Ok(mut slot) = self.err.lock() {
+            if let Some(e) = slot.take() {
+                return Err(e);
+            }
+        }
+        outputs
+            .iter()
+            .map(|&o| {
+                self.slots[o]
+                    .get()
+                    .cloned()
+                    .ok_or_else(|| GraphError::runtime(format!("fetch {o} was not computed")))
+            })
+            .collect()
+    }
+}
+
+/// Evaluate a subgraph under the parallel context (used by `Cond`
+/// branches, which have no cached metadata).
+fn run_subgraph(ctx: &ParCtx<'_>, sub: &SubGraph, args: &[GValue]) -> Result<Vec<GValue>> {
+    let meta = wave_meta(&sub.graph, subgraph_order(sub));
+    run_sub_with_meta(ctx, sub, &meta, args)
+}
+
+fn run_sub_with_meta(
+    ctx: &ParCtx<'_>,
+    sub: &SubGraph,
+    meta: &WaveMeta,
+    args: &[GValue],
+) -> Result<Vec<GValue>> {
+    if args.len() != sub.num_params {
+        return Err(GraphError::runtime(format!(
+            "subgraph expects {} arguments, got {}",
+            sub.num_params,
+            args.len()
+        )));
+    }
+    let run = ParRun::new(&sub.graph, meta, args, ctx);
+    run.execute();
+    run.finish(&sub.outputs)
+}
+
+/// A `While` loop under the parallel context: iterations stay serial
+/// (each consumes the previous state), but the metadata is computed once
+/// and each body execution wavefront-schedules its independent nodes.
+fn run_while(
+    ctx: &ParCtx<'_>,
+    cond_g: &SubGraph,
+    body_g: &SubGraph,
+    mut state: Vec<GValue>,
+    max_iters: Option<u64>,
+) -> Result<GValue> {
+    let cond_meta = wave_meta(&cond_g.graph, subgraph_order(cond_g));
+    let body_meta = wave_meta(&body_g.graph, subgraph_order(body_g));
+    let mut iters = 0u64;
+    loop {
+        let c = run_sub_with_meta(ctx, cond_g, &cond_meta, &state)?;
+        let keep = ops::as_bool_scalar(
+            c.first()
+                .ok_or_else(|| GraphError::runtime("while condition returned nothing"))?,
+        )?;
+        if !keep {
+            break;
+        }
+        state = run_sub_with_meta(ctx, body_g, &body_meta, &state)?;
+        iters += 1;
+        if let Some(limit) = max_iters {
+            if iters >= limit {
+                return Err(GraphError::runtime(format!(
+                    "while loop exceeded max_iters={limit}"
+                )));
+            }
+        }
+    }
+    obs::observe("graph", "while_iters", iters);
+    Ok(GValue::Tuple(state))
+}
+
+/// Execute a compiled plan with the parallel scheduler. The session's
+/// variable store is moved into a mutex for the duration of the run and
+/// restored afterwards, so the sequential API (`&mut HashMap`) is
+/// preserved.
+pub(crate) fn run_plan_parallel(
+    graph: &Graph,
+    meta: &WaveMeta,
+    env: &mut ExecEnv<'_>,
+    fetches: &[NodeId],
+) -> Result<Vec<GValue>> {
+    obs::env::maybe_init_from_env();
+    let vars = std::mem::take(env.variables);
+    let ctx = ParCtx {
+        feeds: env.feeds,
+        vars: Mutex::new(vars),
+    };
+    let result = {
+        let run = ParRun::new(graph, meta, &[], &ctx);
+        run.execute();
+        run.finish(fetches)
+    };
+    *env.variables = ctx
+        .vars
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    result
+}

@@ -1,16 +1,69 @@
 //! The `tf.Session` analog: owns a graph, its variable state and a cache
 //! of compiled execution plans.
+//!
+//! ## Threads
+//!
+//! `Session::run` dispatches through the parallel wavefront scheduler
+//! when more than one thread is available. The thread count resolves in
+//! priority order:
+//!
+//! 1. [`Session::set_threads`] on this session;
+//! 2. the process-wide default from [`set_default_threads`] (what bench
+//!    binaries set from `--threads`);
+//! 3. the `AUTOGRAPH_THREADS` environment variable;
+//! 4. the machine's available parallelism.
+//!
+//! A resolved count of 1 runs the original sequential executor; any
+//! other count produces bitwise-identical results (see `sched.rs`).
 
 use crate::exec::{ExecEnv, Plan};
 use crate::ir::{GValue, Graph, NodeId};
 use crate::Result;
 use autograph_obs as obs;
+use autograph_par as par;
 use autograph_tensor::Tensor;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Plan-cache accounting for one [`Session`], exposed via
-/// [`Session::stats`]. A miss means a fetch set was compiled; a hit means
-/// an existing plan was reused. Build time is tracked per fetch set.
+/// Process-wide thread default set by [`set_default_threads`];
+/// 0 = unset.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default thread count for sessions that don't
+/// call [`Session::set_threads`]. `AUTOGRAPH_THREADS` and machine
+/// parallelism are only consulted while this is unset.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// `AUTOGRAPH_THREADS`, parsed once per process.
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("AUTOGRAPH_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    })
+}
+
+/// Resolve the effective thread count for a session (see the module docs
+/// for the priority order).
+fn resolve_threads(session_threads: Option<usize>) -> usize {
+    if let Some(n) = session_threads {
+        return n.max(1);
+    }
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => env_threads().unwrap_or_else(par::available_parallelism),
+        n => n,
+    }
+}
+
+/// Plan-cache accounting snapshot for one [`Session`], returned by
+/// [`Session::stats`]. A miss means a fetch set was compiled; a hit
+/// means an existing plan was reused. Build time is tracked per fetch
+/// set.
 #[derive(Debug, Clone, Default)]
 pub struct SessionStats {
     /// Runs that reused a cached plan.
@@ -28,6 +81,42 @@ impl SessionStats {
     }
 }
 
+/// The live, thread-safe counters behind [`SessionStats`]. Shared via
+/// `Arc` ([`Session::stats_handle`]) so concurrent observers — a metrics
+/// poller, another thread's progress display — can read while the
+/// session runs.
+#[derive(Debug, Default)]
+pub struct SessionStatsShared {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    build_ns: Mutex<HashMap<Vec<NodeId>, u64>>,
+}
+
+impl SessionStatsShared {
+    /// Runs that reused a cached plan.
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs that compiled (and cached) a new plan.
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the counters into a plain [`SessionStats`].
+    pub fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            plan_cache_hits: self.hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.misses.load(Ordering::Relaxed),
+            plan_build_ns: self
+                .build_ns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone(),
+        }
+    }
+}
+
 /// Executes fetches against a graph, with persistent variables and
 /// per-fetch-set plan caching. One `run` call per training step is the
 /// "Model In Graph, Loop In Python" configuration of Table 2; a single
@@ -37,7 +126,8 @@ pub struct Session {
     graph: Graph,
     variables: HashMap<String, Tensor>,
     plans: HashMap<Vec<NodeId>, Plan>,
-    stats: SessionStats,
+    stats: Arc<SessionStatsShared>,
+    threads: Option<usize>,
 }
 
 impl Session {
@@ -49,7 +139,8 @@ impl Session {
             graph,
             variables,
             plans: HashMap::new(),
-            stats: SessionStats::default(),
+            stats: Arc::new(SessionStatsShared::default()),
+            threads: None,
         }
     }
 
@@ -58,9 +149,29 @@ impl Session {
         &self.graph
     }
 
-    /// Plan-cache statistics accumulated over this session's runs.
-    pub fn stats(&self) -> &SessionStats {
-        &self.stats
+    /// Pin this session's thread count, overriding the process default
+    /// and `AUTOGRAPH_THREADS`. `1` reproduces the sequential executor
+    /// exactly.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Session {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The thread count the next `run` call will use.
+    pub fn effective_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+
+    /// Plan-cache statistics accumulated over this session's runs
+    /// (a snapshot of the live counters).
+    pub fn stats(&self) -> SessionStats {
+        self.stats.snapshot()
+    }
+
+    /// Shared handle to the live counters, readable from other threads
+    /// while this session runs.
+    pub fn stats_handle(&self) -> Arc<SessionStatsShared> {
+        Arc::clone(&self.stats)
     }
 
     /// Current value of a variable.
@@ -99,14 +210,20 @@ impl Session {
     ) -> Result<Vec<GValue>> {
         let key = fetches.to_vec();
         if self.plans.contains_key(&key) {
-            self.stats.plan_cache_hits += 1;
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
             obs::count("session", "plan_cache_hit", 1);
         } else {
             let t0 = std::time::Instant::now();
             let plan = Plan::compile(&self.graph, fetches)?;
             let build_ns = t0.elapsed().as_nanos() as u64;
-            self.stats.plan_cache_misses += 1;
-            *self.stats.plan_build_ns.entry(key.clone()).or_insert(0) += build_ns;
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            *self
+                .stats
+                .build_ns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .entry(key.clone())
+                .or_insert(0) += build_ns;
             if obs::enabled() {
                 obs::count("session", "plan_cache_miss", 1);
                 obs::observe("session", "plan_build_ns", build_ns);
@@ -122,7 +239,12 @@ impl Session {
             feeds: &feed_map,
             variables: &mut self.variables,
         };
-        plan.run(&self.graph, &mut env, fetches)
+        plan.run_threads(
+            &self.graph,
+            &mut env,
+            fetches,
+            resolve_threads(self.threads),
+        )
     }
 }
 
@@ -202,6 +324,54 @@ mod tests {
             sess.stats().total_build_ns(),
             sess.stats().plan_build_ns[&vec![s]]
         );
+    }
+
+    #[test]
+    fn stats_readable_concurrently_with_runs() {
+        // the satellite fix: stats must be safely observable from another
+        // thread while the session executes
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let two = b.scalar(2.0);
+        let y = b.mul(x, two);
+        let mut sess = Session::new(b.finish());
+        let handle = sess.stats_handle();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let watcher = std::thread::spawn(move || {
+            let mut last = 0u64;
+            while !stop2.load(Ordering::Relaxed) {
+                let s = handle.snapshot();
+                let total = s.plan_cache_hits + s.plan_cache_misses;
+                assert!(total >= last, "counters must be monotonic");
+                last = total;
+                std::thread::yield_now();
+            }
+            last
+        });
+        for _ in 0..200 {
+            sess.run(&[("x", Tensor::scalar_f32(3.0))], &[y]).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let observed = watcher.join().unwrap();
+        assert!(observed <= 200);
+        assert_eq!(sess.stats().plan_cache_misses, 1);
+        assert_eq!(sess.stats().plan_cache_hits, 199);
+    }
+
+    #[test]
+    fn explicit_threads_override_resolution() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let two = b.scalar(2.0);
+        let y = b.mul(x, two);
+        let mut sess = Session::new(b.finish());
+        sess.set_threads(4);
+        assert_eq!(sess.effective_threads(), 4);
+        let out = sess.run(&[("x", Tensor::scalar_f32(21.0))], &[y]).unwrap();
+        assert_eq!(out[0].scalar_value_f32().unwrap(), 42.0);
+        sess.set_threads(1);
+        assert_eq!(sess.effective_threads(), 1);
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! # autograph-par
+//!
+//! A process-wide persistent worker pool shared by the graph scheduler
+//! (inter-op parallelism: independent graph nodes dispatched as tasks)
+//! and the tensor kernels (intra-op parallelism: [`parallel_for`] over
+//! row/element ranges).
+//!
+//! ## Design
+//!
+//! * **One global injector queue.** Tasks from every concurrent run — the
+//!   top-level wavefront, nested `While`/`Cond` bodies, data-parallel
+//!   kernel chunks — share a single FIFO. Workers are spawned once
+//!   ([`configure`]) and park on a condvar when idle.
+//! * **Helping, not blocking.** A thread that must wait for a set of
+//!   tasks to finish ([`help_until`]) pops and executes queued tasks —
+//!   any run's tasks — instead of sleeping. This is what makes nested
+//!   scheduling deadlock-free: whenever a run is incomplete, its
+//!   remaining work is either queued (any helper can pick it up) or
+//!   already executing on some thread, so global progress is guaranteed
+//!   even when every worker is itself waiting on a nested run.
+//! * **Determinism-friendly.** The pool imposes no ordering of its own;
+//!   callers express ordering through their own dependency counts. A
+//!   [`parallel_for`] chunk is computed by exactly one thread with the
+//!   same per-element order as the sequential loop, so results are
+//!   bitwise identical to a single-threaded run.
+//!
+//! Observability: every task execution opens a `par/task` span (visible
+//! as per-worker lanes in Chrome traces via `autograph-obs`), and each
+//! injection records the queue depth to the `par/queue_depth` gauge.
+
+use autograph_obs as obs;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A unit of work: an erased function pointer applied to an erased state
+/// pointer plus a small integer argument (typically a node or chunk id).
+///
+/// `Task` is deliberately not a boxed closure: runs borrow stack-local
+/// state (graph, value slots, dependency counters) and erase the lifetime
+/// when injecting; the soundness contract is documented on [`inject`].
+pub struct Task {
+    /// Erased pointer to the run state shared by a batch of tasks.
+    pub data: *const (),
+    /// Per-task argument (node id, chunk index, ...).
+    pub arg: usize,
+    /// Entry point: called exactly once as `run(data, arg)`.
+    pub run: unsafe fn(*const (), usize),
+}
+
+// SAFETY: a Task is only a (pointer, fn) pair; the pointee is required by
+// the `inject` contract to be shareable across threads until the task has
+// executed.
+unsafe impl Send for Task {}
+
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    cv: Condvar,
+    /// Worker threads spawned so far (workers never exit).
+    spawned: Mutex<usize>,
+    /// Thread budget: the largest `configure(n)` seen, including the
+    /// caller thread. Kernels consult this to decide whether splitting
+    /// work pays.
+    budget: AtomicUsize,
+}
+
+fn shared() -> &'static Shared {
+    static S: OnceLock<Shared> = OnceLock::new();
+    S.get_or_init(|| Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        spawned: Mutex::new(0),
+        budget: AtomicUsize::new(1),
+    })
+}
+
+/// Number of hardware threads, with a floor of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Current thread budget (1 = parallelism disabled). Monotonic: the
+/// largest value ever passed to [`configure`].
+pub fn threads() -> usize {
+    shared().budget.load(Ordering::Relaxed).max(1)
+}
+
+/// Raise the pool's thread budget to `threads` (total, including the
+/// calling thread) and spawn workers up to `threads - 1`. Budgets only
+/// grow; `configure(1)` is a no-op. Workers are persistent — they park
+/// when the queue is empty and are reused by every subsequent run.
+pub fn configure(threads: usize) {
+    let threads = threads.max(1);
+    let s = shared();
+    s.budget.fetch_max(threads, Ordering::Relaxed);
+    let mut spawned = s.spawned.lock().expect("par pool spawn lock");
+    while *spawned + 1 < threads {
+        let idx = *spawned;
+        std::thread::Builder::new()
+            .name(format!("ag-par-{idx}"))
+            .spawn(move || worker_loop(idx))
+            .expect("spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+fn worker_loop(_idx: usize) {
+    let s = shared();
+    loop {
+        let task = {
+            let mut q = s.queue.lock().expect("par queue lock");
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                let (guard, _) =
+                    s.cv.wait_timeout(q, Duration::from_millis(100))
+                        .expect("par queue condvar");
+                q = guard;
+            }
+        };
+        run_task(task);
+    }
+}
+
+fn run_task(task: Task) {
+    let _span = obs::span("par", "task");
+    // SAFETY: upheld by the `inject` caller — the task state is alive and
+    // shareable until the task completes.
+    unsafe { (task.run)(task.data, task.arg) };
+}
+
+/// Push tasks onto the global queue and wake workers.
+///
+/// # Safety
+///
+/// For every task, `data` must point to state that (a) may be shared
+/// across threads (`Sync`-like access discipline), and (b) outlives the
+/// task's execution. The canonical pattern: the injecting thread keeps
+/// the state alive on its stack and calls [`help_until`] with a predicate
+/// that only becomes true after every injected task has finished running.
+pub unsafe fn inject<I: IntoIterator<Item = Task>>(tasks: I) {
+    let s = shared();
+    let depth;
+    {
+        let mut q = s.queue.lock().expect("par queue lock");
+        q.extend(tasks);
+        depth = q.len() as u64;
+    }
+    obs::observe("par", "queue_depth", depth);
+    s.cv.notify_all();
+}
+
+/// Pop and execute one queued task, if any. Returns whether a task ran.
+pub fn try_run_one() -> bool {
+    let task = shared().queue.lock().expect("par queue lock").pop_front();
+    match task {
+        Some(t) => {
+            run_task(t);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Execute queued tasks until `done()` is true, yielding when the queue
+/// is empty. This is the "wait by helping" primitive: callers never block
+/// on in-flight work, they contribute to draining the queue, which makes
+/// nested fork-join on the shared pool deadlock-free.
+pub fn help_until(done: impl Fn() -> bool) {
+    while !done() {
+        if !try_run_one() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Data-parallel for-loop over `0..n`, splitting into chunks of at least
+/// `grain` items. Falls back to a plain sequential loop when the budget
+/// is 1 or the range is too small to split. Each chunk is processed by
+/// exactly one thread in ascending index order, so any output written
+/// per-index is bitwise identical to the sequential loop.
+///
+/// Blocks until every chunk has completed. `body` may be called
+/// concurrently from several threads with disjoint ranges.
+pub fn parallel_for(n: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+    let grain = grain.max(1);
+    let t = threads();
+    if t <= 1 || n <= grain {
+        if n > 0 {
+            body(0..n);
+        }
+        return;
+    }
+    // enough chunks for load balance, each at least `grain` items
+    let chunk = grain.max(n.div_ceil(t * 4));
+    let nchunks = n.div_ceil(chunk);
+
+    struct ForJob<'a> {
+        body: &'a (dyn Fn(Range<usize>) + Sync),
+        n: usize,
+        chunk: usize,
+        nchunks: usize,
+        next: AtomicUsize,
+        live: AtomicUsize,
+    }
+    fn claim(job: &ForJob<'_>) {
+        loop {
+            let c = job.next.fetch_add(1, Ordering::Relaxed);
+            if c >= job.nchunks {
+                break;
+            }
+            let start = c * job.chunk;
+            (job.body)(start..(start + job.chunk).min(job.n));
+        }
+    }
+    unsafe fn entry(data: *const (), _arg: usize) {
+        // SAFETY: `data` points at the ForJob on the injecting thread's
+        // stack, kept alive until `live` reaches zero below.
+        let job = unsafe { &*(data as *const ForJob<'_>) };
+        claim(job);
+        job.live.fetch_sub(1, Ordering::Release);
+    }
+
+    let helpers = (t - 1).min(nchunks - 1);
+    let job = ForJob {
+        body,
+        n,
+        chunk,
+        nchunks,
+        next: AtomicUsize::new(0),
+        live: AtomicUsize::new(helpers),
+    };
+    // SAFETY: `job` lives on this stack frame; we do not return until
+    // every helper task has decremented `live`, i.e. finished executing.
+    unsafe {
+        inject((0..helpers).map(|i| Task {
+            data: &job as *const ForJob<'_> as *const (),
+            arg: i,
+            run: entry,
+        }));
+    }
+    claim(&job);
+    help_until(|| job.live.load(Ordering::Acquire) == 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_fallback_when_unconfigured() {
+        // budget may already be >1 if another test configured the pool;
+        // a small n still runs inline
+        let hits = AtomicU64::new(0);
+        parallel_for(3, 8, &|r| {
+            hits.fetch_add((r.end - r.start) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        configure(4);
+        let n = 100_000;
+        let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(n, 1024, &|r| {
+            for i in r {
+                slots[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(slots.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_matches_sequential_bitwise() {
+        configure(4);
+        let n = 65_536;
+        let f = |i: usize| ((i as f32) * 0.3).sin() * ((i as f32) + 1.0).sqrt();
+        let mut seq = vec![0.0f32; n];
+        for (i, s) in seq.iter_mut().enumerate() {
+            *s = f(i);
+        }
+        let mut par = vec![0.0f32; n];
+        let ptr = par.as_mut_ptr() as usize;
+        parallel_for(n, 512, &|r| {
+            for i in r {
+                // SAFETY: disjoint ranges, each index written exactly once
+                unsafe { *(ptr as *mut f32).add(i) = f(i) };
+            }
+        });
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_parallel_for_does_not_deadlock() {
+        configure(4);
+        let total = AtomicU64::new(0);
+        parallel_for(16, 1, &|outer| {
+            for _ in outer {
+                parallel_for(64, 4, &|inner| {
+                    total.fetch_add((inner.end - inner.start) as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16 * 64);
+    }
+
+    #[test]
+    fn budget_is_monotonic() {
+        configure(2);
+        configure(1);
+        assert!(threads() >= 2);
+    }
+}

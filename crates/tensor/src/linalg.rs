@@ -146,23 +146,50 @@ impl Tensor {
     }
 }
 
-/// Inner loop: (m,k) x (k,n) with i-k-j ordering for cache-friendly access.
+/// Flop threshold (2*m*k*n) below which splitting a matmul across the
+/// worker pool costs more than it saves.
+const MATMUL_PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// Inner loop: (m,k) x (k,n) with i-k-j ordering for cache-friendly
+/// access. Large products split by output rows across the shared worker
+/// pool; each row is produced by exactly one thread with the identical
+/// accumulation order of the sequential loop, so the result is bitwise
+/// independent of the thread count.
 fn matmul_2d(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    if autograph_par::threads() > 1 && m > 1 && 2 * m * k * n >= MATMUL_PAR_MIN_FLOPS {
+        // rows are disjoint slices of `out`; share the base pointer as an
+        // integer because raw pointers are not Sync
+        let out_addr = out.as_mut_ptr() as usize;
+        autograph_par::parallel_for(m, 1, &|rows| {
+            for i in rows {
+                // SAFETY: each row index lands in exactly one chunk, so
+                // the m row slices are written by exactly one thread each
+                // and none outlives `out`.
+                let orow =
+                    unsafe { std::slice::from_raw_parts_mut((out_addr as *mut f32).add(i * n), n) };
+                matmul_row(&a[i * k..(i + 1) * k], b, n, orow);
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
+        });
+    } else {
+        for i in 0..m {
+            matmul_row(&a[i * k..(i + 1) * k], b, n, &mut out[i * n..(i + 1) * n]);
         }
     }
     out
+}
+
+/// One output row: `orow += arow · B`, skipping zero multiplicands.
+fn matmul_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32]) {
+    for (p, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[p * n..(p + 1) * n];
+        for j in 0..n {
+            orow[j] += av * brow[j];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +275,38 @@ mod tests {
         assert!(a.transpose(&[0, 0]).is_err());
         assert!(a.transpose(&[0]).is_err());
         assert!(a.transpose(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn matmul_parallel_bitwise_matches_sequential() {
+        // large enough to clear MATMUL_PAR_MIN_FLOPS (2*64^3 = 524288)
+        let (m, k, n) = (64usize, 64usize, 64usize);
+        let av: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 101) as f32) * 0.13 - 5.0)
+            .collect();
+        let bv: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 53 % 97) as f32) * 0.11 - 4.0)
+            .collect();
+        // ground truth with the identical i-k-j accumulation order
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = av[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    want[i * n + j] += a * bv[p * n + j];
+                }
+            }
+        }
+        autograph_par::configure(4);
+        let at = Tensor::from_vec(av, &[m, k]).unwrap();
+        let bt = Tensor::from_vec(bv, &[k, n]).unwrap();
+        let got = at.matmul(&bt).unwrap();
+        for (g, w) in got.as_f32().unwrap().iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
     }
 
     #[test]

@@ -3,14 +3,23 @@
 use crate::shape::BroadcastMap;
 use crate::{broadcast_shapes, DType, Data, Result, Tensor, TensorError};
 
+/// Element count above which a same-shape f32 kernel is split across
+/// the worker pool (below it the per-chunk dispatch cost dominates).
+const ELEMWISE_PAR_MIN: usize = 1 << 15;
+
 /// Apply a binary f32 kernel with broadcasting. Integer inputs are promoted
 /// to f32 when mixed with floats; pure-integer inputs stay integer for the
 /// arithmetic ops that preserve integrality.
+///
+/// Large same-shape f32 inputs split into disjoint index chunks across
+/// the shared worker pool; each element is computed by exactly one
+/// thread with the sequential per-element order, so results are bitwise
+/// identical at any thread count.
 fn binary_numeric(
     op: &'static str,
     lhs: &Tensor,
     rhs: &Tensor,
-    f_f32: impl Fn(f32, f32) -> f32,
+    f_f32: impl Fn(f32, f32) -> f32 + Sync,
     f_i64: Option<impl Fn(i64, i64) -> i64>,
 ) -> Result<Tensor> {
     let out_shape = broadcast_shapes(lhs.shape(), rhs.shape())?;
@@ -46,6 +55,19 @@ fn binary_numeric(
     let b = rhs.cast(DType::F32);
     let a = a.as_f32()?;
     let b = b.as_f32()?;
+    if lm.is_identity() && rm.is_identity() && autograph_par::threads() > 1 && n >= ELEMWISE_PAR_MIN
+    {
+        let mut out = vec![0.0f32; n];
+        let out_addr = out.as_mut_ptr() as usize;
+        autograph_par::parallel_for(n, 4096, &|range| {
+            for i in range {
+                // SAFETY: chunks are disjoint, so each index is written
+                // by exactly one thread; the buffer outlives the call.
+                unsafe { *(out_addr as *mut f32).add(i) = f_f32(a[i], b[i]) };
+            }
+        });
+        return Ok(Tensor::from_data(Data::F32(out), &out_shape));
+    }
     let mut out = Vec::with_capacity(n);
     if lm.is_identity() && rm.is_identity() {
         for i in 0..n {
@@ -668,5 +690,21 @@ mod tests {
         let a = Tensor::from_vec_i64(vec![-3, 7], &[2]).unwrap();
         let b = Tensor::scalar_i64(5);
         assert_eq!(a.rem(&b).unwrap().as_i64().unwrap(), &[2, 2]);
+    }
+
+    #[test]
+    fn elementwise_parallel_bitwise_matches_sequential() {
+        // clears ELEMWISE_PAR_MIN so the parallel identity path engages
+        let n = 1 << 16;
+        let av: Vec<f32> = (0..n).map(|i| ((i % 251) as f32) * 0.37 - 40.0).collect();
+        let bv: Vec<f32> = (0..n).map(|i| ((i % 83) as f32) * 0.59 + 0.5).collect();
+        let want: Vec<f32> = av.iter().zip(&bv).map(|(a, b)| a * b + a / b).collect();
+        autograph_par::configure(4);
+        let at = t(av, &[n]);
+        let bt = t(bv, &[n]);
+        let got = at.mul(&bt).unwrap().add(&at.div(&bt).unwrap()).unwrap();
+        for (g, w) in got.as_f32().unwrap().iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
     }
 }

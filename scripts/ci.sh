@@ -12,7 +12,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release --workspace
 
-echo "== cargo test"
-cargo test -q --workspace
+# the suite runs twice: once forced sequential, once through the
+# parallel wavefront scheduler — both must be green and the differential
+# / determinism tests assert the outputs are bitwise identical
+echo "== cargo test (AUTOGRAPH_THREADS=1)"
+AUTOGRAPH_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test (AUTOGRAPH_THREADS=4)"
+AUTOGRAPH_THREADS=4 cargo test -q --workspace
+
+echo "== parallel executor baseline (BENCH_parallel.json)"
+cargo run --release -q -p autograph-bench --bin table1 -- \
+    --runs 5 --threads 4 --json BENCH_parallel.json
 
 echo "CI OK"
