@@ -56,6 +56,7 @@
 
 pub use autograph_analysis as analysis;
 pub use autograph_eager as eager;
+pub use autograph_faults as faults;
 pub use autograph_graph as graph;
 pub use autograph_lantern as lantern;
 pub use autograph_pylang as pylang;
@@ -63,9 +64,12 @@ pub use autograph_runtime as runtime;
 pub use autograph_tensor as tensor;
 pub use autograph_transforms as transforms;
 
+pub use autograph_graph::{CancelToken, ErrorKind, GraphError, RunOptions};
 pub use autograph_runtime::runtime::{CompiledFunction, GraphArg, LanternArg, StagedGraph};
 pub use autograph_runtime::{Runtime, RuntimeError, Value};
-pub use autograph_transforms::{convert_module, ConversionConfig, Converted};
+pub use autograph_transforms::{
+    convert_module, ConversionConfig, ConversionPolicy, ConversionWarning, Converted,
+};
 
 /// Convert PyLite source to converted PyLite source — the pure
 /// source-to-source view of AutoGraph ("the generated code can be
@@ -89,11 +93,12 @@ pub fn convert_source(source: &str) -> Result<String, autograph_transforms::Conv
 /// Common imports for working with the library.
 pub mod prelude {
     pub use crate::convert_source;
-    pub use autograph_graph::Session;
+    pub use autograph_graph::{CancelToken, RunOptions, Session};
     pub use autograph_lantern::Engine;
     pub use autograph_runtime::runtime::{CompiledFunction, GraphArg, LanternArg, StagedGraph};
     pub use autograph_runtime::{Runtime, Value};
     pub use autograph_tensor::{DType, Rng64, Tensor};
+    pub use autograph_transforms::{ConversionConfig, ConversionPolicy};
 }
 
 #[cfg(test)]

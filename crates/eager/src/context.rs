@@ -3,11 +3,13 @@
 
 use crate::registry::{default_registry, OpDef};
 use crate::tape::Tape;
-use crate::{EagerError, Result};
+use crate::{panic_message, EagerError, Result};
+use autograph_faults as faults;
 use autograph_obs as obs;
 use autograph_tensor::Tensor;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A tensor value in the eager runtime, optionally tracked on the active
 /// tape.
@@ -84,7 +86,20 @@ impl Eager {
             .get(name)
             .ok_or_else(|| EagerError::new("unknown op").in_op(name))?;
         let raw: Vec<Tensor> = inputs.iter().map(|t| t.tensor.clone()).collect();
-        let out = (def.forward)(&raw).map_err(|e| EagerError::new(e.message).in_op(name))?;
+        // Panic isolation: registry kernels index their input slice directly
+        // (so an arity mistake panics) and some panic on malformed shapes;
+        // convert any unwind into a structured per-op error rather than
+        // letting it tear through the caller. The chaos-test inject (one
+        // relaxed atomic load when no plan is installed) sits inside the
+        // boundary so injected panics exercise it too.
+        let out = catch_unwind(AssertUnwindSafe(|| -> Result<Tensor> {
+            faults::inject("eager", name).map_err(|e| EagerError::new(e.to_string()))?;
+            (def.forward)(&raw)
+        }))
+        .map_err(|p| {
+            EagerError::new(format!("kernel panicked: {}", panic_message(p.as_ref()))).in_op(name)
+        })?
+        .map_err(|e| EagerError::new(e.message).in_op(name))?;
 
         let mut tape_ref = self.tape.borrow_mut();
         if let Some(tape) = tape_ref.as_mut() {
@@ -165,7 +180,17 @@ impl Eager {
         let grads = {
             obs::observe("eager", "tape_len", tape.len() as u64);
             let _span = obs::span("eager", "tape_backward");
-            tape.gradient(&self.registry, loss_node, loss.tensor.shape(), &wrt_nodes)?
+            // backward rules run user-shaped tensors through the registry's
+            // gradient closures; isolate their panics like forward kernels
+            catch_unwind(AssertUnwindSafe(|| {
+                tape.gradient(&self.registry, loss_node, loss.tensor.shape(), &wrt_nodes)
+            }))
+            .map_err(|p| {
+                EagerError::new(format!(
+                    "backward pass panicked: {}",
+                    panic_message(p.as_ref())
+                ))
+            })??
         };
         Ok(grads
             .into_iter()
@@ -223,6 +248,16 @@ mod tests {
         let out = e.op("add", &[&scalar(1.0), &scalar(2.0)]).unwrap();
         assert_eq!(out.tensor().scalar_value_f32().unwrap(), 3.0);
         assert!(e.op("frobnicate", &[]).is_err());
+    }
+
+    #[test]
+    fn arity_panic_is_isolated_as_error() {
+        // "add" indexes x[1]; calling it with one input used to panic out
+        // of the dispatcher — now it must come back as a structured error
+        let e = Eager::new();
+        let err = e.op("add", &[&scalar(1.0)]).unwrap_err();
+        assert_eq!(err.op.as_deref(), Some("add"));
+        assert!(err.message.contains("kernel panicked"), "{}", err.message);
     }
 
     #[test]

@@ -80,3 +80,14 @@ impl From<TensorError> for EagerError {
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EagerError>;
+
+/// Best-effort human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -2,7 +2,7 @@
 //! rule. The string-keyed lookup and boxed indirection are deliberate —
 //! they model the per-op dispatch cost of real eager runtimes.
 
-use crate::Result;
+use crate::{EagerError, Result};
 use autograph_tensor::{DType, Tensor};
 use std::collections::HashMap;
 
@@ -236,7 +236,10 @@ pub fn default_registry() -> HashMap<String, OpDef> {
         |x| Ok(Tensor::softmax_cross_entropy(&x[0], &x[1])?),
         bwd(|g, x, _| {
             let sm = x[0].softmax()?;
-            let classes = *x[0].shape().last().expect("rank 2 logits");
+            let classes = *x[0]
+                .shape()
+                .last()
+                .ok_or_else(|| EagerError::new("softmax_cross_entropy backward: rank-0 logits"))?;
             let oh = x[1].one_hot(classes)?;
             let batch = x[0].shape()[0].max(1) as f32;
             let d = sm.sub(&oh)?.div(&Tensor::scalar_f32(batch))?;
@@ -266,6 +269,11 @@ pub fn default_registry() -> HashMap<String, OpDef> {
             let mut grads = Vec::with_capacity(x.len());
             let mut offset = 0i64;
             for xi in x {
+                if xi.rank() < 2 {
+                    return Err(EagerError::new(
+                        "concat1 backward: inputs must be rank >= 2",
+                    ));
+                }
                 let w = xi.shape()[1] as i64;
                 // slice along axis 1 via transpose + slice_axis0
                 let gt = g.t()?;

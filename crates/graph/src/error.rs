@@ -29,11 +29,31 @@ impl fmt::Display for Phase {
     }
 }
 
+/// Classification of a runtime failure beyond its message — what callers
+/// branch on to decide recovery (retry, surface, abandon the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorKind {
+    /// A kernel/staging failure (the common case).
+    #[default]
+    Fault,
+    /// The run's [`crate::run::CancelToken`] was triggered.
+    Cancelled,
+    /// The run's deadline (`RunOptions::deadline` /
+    /// `AUTOGRAPH_RUN_TIMEOUT_MS`) elapsed.
+    DeadlineExceeded,
+    /// A kernel panicked and the executor's `catch_unwind` boundary
+    /// converted it (the process never aborts).
+    Panic,
+}
+
 /// An error from graph construction or execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphError {
     /// Which phase failed.
     pub phase: Phase,
+    /// Failure classification (cancellation, deadline, panic, or plain
+    /// fault).
+    pub kind: ErrorKind,
     /// Description of the failure.
     pub message: String,
     /// The name of the graph node involved, when known.
@@ -47,6 +67,7 @@ impl GraphError {
     pub fn staging(message: impl Into<String>) -> Self {
         GraphError {
             phase: Phase::Staging,
+            kind: ErrorKind::Fault,
             message: message.into(),
             node: None,
             span: None,
@@ -57,21 +78,62 @@ impl GraphError {
     pub fn runtime(message: impl Into<String>) -> Self {
         GraphError {
             phase: Phase::Runtime,
+            kind: ErrorKind::Fault,
             message: message.into(),
             node: None,
             span: None,
         }
     }
 
-    /// Attach the offending node's name.
+    /// A run cancelled through its [`crate::run::CancelToken`].
+    pub fn cancelled() -> Self {
+        GraphError {
+            kind: ErrorKind::Cancelled,
+            ..GraphError::runtime("run cancelled")
+        }
+    }
+
+    /// A run that outlived its deadline.
+    pub fn deadline_exceeded(limit: std::time::Duration) -> Self {
+        GraphError {
+            kind: ErrorKind::DeadlineExceeded,
+            ..GraphError::runtime(format!("run deadline exceeded ({limit:?})"))
+        }
+    }
+
+    /// A caught kernel panic, with the extracted panic message.
+    pub fn panic(message: impl Into<String>) -> Self {
+        GraphError {
+            kind: ErrorKind::Panic,
+            ..GraphError::runtime(message)
+        }
+    }
+
+    /// Whether this is a cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        self.kind == ErrorKind::Cancelled
+    }
+
+    /// Whether this is a deadline expiry.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        self.kind == ErrorKind::DeadlineExceeded
+    }
+
+    /// Attach the offending node's name. The innermost attribution wins:
+    /// an error bubbling out of a While/If body keeps the body node that
+    /// actually failed, not the enclosing control-flow node.
     pub fn at_node(mut self, node: impl Into<String>) -> Self {
-        self.node = Some(node.into());
+        if self.node.is_none() {
+            self.node = Some(node.into());
+        }
         self
     }
 
-    /// Attach the user-source span that staged the node.
+    /// Attach the user-source span that staged the node. Like
+    /// [`GraphError::at_node`], the innermost (first) non-synthetic span is
+    /// kept.
     pub fn at_span(mut self, span: Span) -> Self {
-        if !span.is_synthetic() {
+        if self.span.is_none() && !span.is_synthetic() {
             self.span = Some(span);
         }
         self
@@ -96,6 +158,18 @@ impl std::error::Error for GraphError {}
 impl From<TensorError> for GraphError {
     fn from(e: TensorError) -> Self {
         GraphError::runtime(e.to_string())
+    }
+}
+
+/// Extract the human-readable message from a caught panic payload
+/// (`panic!("...")` yields `&str` or `String`; anything else is opaque).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -133,8 +207,47 @@ mod tests {
     }
 
     #[test]
+    fn innermost_attribution_wins() {
+        // nested frames (While body → While node) each call at_node/at_span;
+        // the first — innermost — attribution must survive
+        let e = GraphError::runtime("boom")
+            .at_node("body/matmul_1")
+            .at_span(Span::new(4, 9))
+            .at_node("while_4")
+            .at_span(Span::new(3, 5));
+        assert_eq!(e.node.as_deref(), Some("body/matmul_1"));
+        assert_eq!(e.span, Some(Span::new(4, 9)));
+        // a synthetic inner span leaves room for the outer frame's real one
+        let e = GraphError::runtime("boom")
+            .at_span(Span::synthetic())
+            .at_span(Span::new(3, 5));
+        assert_eq!(e.span, Some(Span::new(3, 5)));
+    }
+
+    #[test]
     fn synthetic_span_not_attached() {
         let e = GraphError::runtime("x").at_span(Span::synthetic());
         assert!(e.span.is_none());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(GraphError::cancelled().is_cancelled());
+        assert!(!GraphError::cancelled().is_deadline_exceeded());
+        let d = GraphError::deadline_exceeded(std::time::Duration::from_millis(5));
+        assert!(d.is_deadline_exceeded());
+        assert!(d.to_string().contains("deadline exceeded"));
+        assert_eq!(GraphError::runtime("x").kind, ErrorKind::Fault);
+        assert_eq!(GraphError::panic("boom").kind, ErrorKind::Panic);
+    }
+
+    #[test]
+    fn panic_message_extraction() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(p.as_ref()), "static str");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(p.as_ref()), "owned");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 }

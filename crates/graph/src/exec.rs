@@ -1,12 +1,26 @@
 //! The graph evaluator: executes nodes in a precomputed topological plan,
 //! handling feeds, variables, and functional control flow.
+//!
+//! Every node evaluation runs inside a `catch_unwind` boundary: a kernel
+//! panic becomes a [`GraphError`] carrying the node name and staged
+//! source span instead of aborting the process. Run limits (deadline,
+//! cancellation, while-iteration caps — see [`crate::run`]) are checked
+//! at node-dispatch and loop-iteration granularity.
 
+// The executor error paths must never themselves panic: a stray unwrap
+// here would defeat the catch_unwind contract. Enforced by CI.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::error::panic_message;
 use crate::ir::{GValue, Graph, NodeId, OpKind, SubGraph};
 use crate::ops;
+use crate::run::RunCtx;
 use crate::{GraphError, Result};
+use autograph_faults as faults;
 use autograph_obs as obs;
 use autograph_tensor::Tensor;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The state threaded through one evaluation: feed values and the mutable
 /// variable store.
@@ -82,14 +96,27 @@ impl Plan {
         env: &mut ExecEnv<'_>,
         fetches: &[NodeId],
     ) -> Result<Vec<GValue>> {
-        // PROFILE_NODES=1 compatibility: install the streaming recorder on
-        // first use. One OnceLock load after initialization.
+        self.run_ctx(graph, env, fetches, &RunCtx::unbounded())
+    }
+
+    /// [`Plan::run`] under explicit run limits (deadline/cancel/loop
+    /// caps); progress counters accumulate into `ctx` even on failure.
+    pub(crate) fn run_ctx(
+        &self,
+        graph: &Graph,
+        env: &mut ExecEnv<'_>,
+        fetches: &[NodeId],
+        ctx: &RunCtx,
+    ) -> Result<Vec<GValue>> {
+        // PROFILE_NODES=1 / AUTOGRAPH_FAULTS compatibility: install from
+        // the environment on first use. One OnceLock load afterwards.
         obs::env::maybe_init_from_env();
+        faults::maybe_init_from_env();
         let mut values: Vec<Option<GValue>> = vec![None; graph.nodes.len()];
         let mut inbuf: Vec<GValue> = Vec::with_capacity(8);
         for &id in &self.order {
             let node = &graph.nodes[id];
-            let v = eval_node(graph, id, &values, env, &mut inbuf)
+            let v = eval_node_guarded(graph, id, &values, env, &mut inbuf, ctx)
                 .map_err(|e| e.at_node(node.name.clone()).at_span(node.span))?;
             values[id] = Some(v);
         }
@@ -121,11 +148,23 @@ impl Plan {
         fetches: &[NodeId],
         threads: usize,
     ) -> Result<Vec<GValue>> {
+        self.run_threads_ctx(graph, env, fetches, threads, &RunCtx::unbounded())
+    }
+
+    /// [`Plan::run_threads`] under explicit run limits.
+    pub(crate) fn run_threads_ctx(
+        &self,
+        graph: &Graph,
+        env: &mut ExecEnv<'_>,
+        fetches: &[NodeId],
+        threads: usize,
+        ctx: &RunCtx,
+    ) -> Result<Vec<GValue>> {
         if threads <= 1 {
-            return self.run(graph, env, fetches);
+            return self.run_ctx(graph, env, fetches, ctx);
         }
         autograph_par::configure(threads);
-        crate::sched::run_plan_parallel(graph, &self.wave, env, fetches)
+        crate::sched::run_plan_parallel(graph, &self.wave, env, fetches, ctx)
     }
 }
 
@@ -150,13 +189,39 @@ fn gather_inputs<'a>(
     Ok(buf)
 }
 
+/// Evaluate one node behind a `catch_unwind` boundary: a panicking
+/// kernel surfaces as a [`GraphError`] (the caller attaches node name and
+/// span) and the process keeps running. Inner control flow installs its
+/// own boundaries per node, so panics are attributed to the innermost
+/// failing node.
+fn eval_node_guarded(
+    graph: &Graph,
+    id: NodeId,
+    values: &[Option<GValue>],
+    env: &mut ExecEnv<'_>,
+    inbuf: &mut Vec<GValue>,
+    ctx: &RunCtx,
+) -> Result<GValue> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        eval_node(graph, id, values, env, inbuf, ctx)
+    })) {
+        Ok(r) => r,
+        Err(payload) => Err(GraphError::panic(format!(
+            "kernel panicked: {}",
+            panic_message(payload.as_ref())
+        ))),
+    }
+}
+
 fn eval_node(
     graph: &Graph,
     id: NodeId,
     values: &[Option<GValue>],
     env: &mut ExecEnv<'_>,
     inbuf: &mut Vec<GValue>,
+    ctx: &RunCtx,
 ) -> Result<GValue> {
+    ctx.before_node()?;
     let node = &graph.nodes[id];
     match &node.op {
         OpKind::Placeholder { name } => env
@@ -200,7 +265,7 @@ fn eval_node(
             }
             let args = &inputs[1..];
             let branch = if pred { then_g } else { else_g };
-            let outs = eval_subgraph(branch, args, env)?;
+            let outs = eval_subgraph_ctx(branch, args, env, ctx)?;
             Ok(pack_outputs(outs))
         }
         OpKind::While {
@@ -210,6 +275,7 @@ fn eval_node(
         } => {
             let mut state = gather_inputs(graph, id, values, inbuf)?.to_vec();
             let mut iters = 0u64;
+            let limit = ctx.while_limit(*max_iters);
             // scratch buffers and pruned execution orders are computed
             // once per loop execution and reused across iterations — the
             // executor's job is to make staged loops cheap per step
@@ -217,31 +283,62 @@ fn eval_node(
             let mut body_scratch: Vec<Option<GValue>> = vec![None; body_g.graph.nodes.len()];
             let cond_order = subgraph_order(cond_g);
             let body_order = subgraph_order(body_g);
-            loop {
-                let c = eval_subgraph_pruned(cond_g, &state, env, &mut cond_scratch, &cond_order)?;
-                let keep = ops::as_bool_scalar(
+            let outcome = loop {
+                let keep = match eval_subgraph_pruned(
+                    cond_g,
+                    &state,
+                    env,
+                    &mut cond_scratch,
+                    &cond_order,
+                    ctx,
+                )
+                .and_then(|c| {
                     c.first()
-                        .ok_or_else(|| GraphError::runtime("while condition returned nothing"))?,
-                )?;
+                        .ok_or_else(|| GraphError::runtime("while condition returned nothing"))
+                        .and_then(ops::as_bool_scalar)
+                }) {
+                    Ok(k) => k,
+                    Err(e) => break Err(e),
+                };
                 if !keep {
-                    break;
+                    break Ok(());
                 }
-                state = eval_subgraph_pruned(body_g, &state, env, &mut body_scratch, &body_order)?;
+                state = match eval_subgraph_pruned(
+                    body_g,
+                    &state,
+                    env,
+                    &mut body_scratch,
+                    &body_order,
+                    ctx,
+                ) {
+                    Ok(s) => s,
+                    Err(e) => break Err(e),
+                };
                 iters += 1;
-                if let Some(limit) = max_iters {
-                    if iters >= *limit {
-                        return Err(GraphError::runtime(format!(
+                if let Err(e) = ctx.after_while_iter() {
+                    break Err(e);
+                }
+                if let Some(limit) = limit {
+                    if iters >= limit {
+                        break Err(GraphError::runtime(format!(
                             "while loop exceeded max_iters={limit}"
                         )));
                     }
                 }
-            }
+            };
+            // flush the partial iteration count even when the loop failed,
+            // so metrics and traces of failed runs reflect work done.
             // observe() is a no-op (one relaxed atomic load) when disabled
             obs::observe("graph", "while_iters", iters);
+            outcome?;
             Ok(GValue::Tuple(state))
         }
         _ => {
             let inputs = gather_inputs(graph, id, values, inbuf)?;
+            // chaos-test hook; one relaxed atomic load when no plan is
+            // installed
+            faults::inject("graph", node.op.mnemonic())
+                .map_err(|e| GraphError::runtime(e.to_string()))?;
             if obs::enabled() {
                 obs::count("graph", "node_evals", 1);
                 let _span = obs::span("graph_op", node.op.mnemonic());
@@ -254,10 +351,12 @@ fn eval_node(
 }
 
 pub(crate) fn pack_outputs(mut outs: Vec<GValue>) -> GValue {
-    if outs.len() == 1 {
-        outs.pop().expect("len checked")
-    } else {
-        GValue::Tuple(outs)
+    match outs.len() {
+        1 => match outs.pop() {
+            Some(v) => v,
+            None => GValue::Tuple(vec![]),
+        },
+        _ => GValue::Tuple(outs),
     }
 }
 
@@ -268,11 +367,21 @@ pub fn eval_subgraph(
     args: &[GValue],
     env: &mut ExecEnv<'_>,
 ) -> Result<Vec<GValue>> {
+    eval_subgraph_ctx(sub, args, env, &RunCtx::unbounded())
+}
+
+/// [`eval_subgraph`] under explicit run limits.
+pub(crate) fn eval_subgraph_ctx(
+    sub: &SubGraph,
+    args: &[GValue],
+    env: &mut ExecEnv<'_>,
+    ctx: &RunCtx,
+) -> Result<Vec<GValue>> {
     let mut scratch: Vec<Option<GValue>> = vec![None; sub.graph.nodes.len()];
     // prune to output-reachable (+ effectful) nodes: inside loop bodies a
     // Cond executes per iteration, so skipping dead branch plumbing pays
     let order = subgraph_order(sub);
-    eval_subgraph_pruned(sub, args, env, &mut scratch, &order)
+    eval_subgraph_pruned(sub, args, env, &mut scratch, &order, ctx)
 }
 
 /// Pruned execution order for a subgraph: nodes reachable from its
@@ -307,6 +416,7 @@ fn eval_subgraph_pruned(
     env: &mut ExecEnv<'_>,
     values: &mut [Option<GValue>],
     order: &[NodeId],
+    ctx: &RunCtx,
 ) -> Result<Vec<GValue>> {
     if args.len() != sub.num_params {
         return Err(GraphError::runtime(format!(
@@ -327,7 +437,7 @@ fn eval_subgraph_pruned(
                 .get(*i)
                 .cloned()
                 .ok_or_else(|| GraphError::runtime(format!("missing subgraph argument {i}"))),
-            _ => eval_node(&sub.graph, id, values, env, &mut inbuf),
+            _ => eval_node_guarded(&sub.graph, id, values, env, &mut inbuf, ctx),
         }
         .map_err(|e| e.at_node(node.name.clone()).at_span(node.span))?;
         values[id] = Some(v);
@@ -343,6 +453,7 @@ fn eval_subgraph_pruned(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::builder::{GraphBuilder, SubGraphBuilder};

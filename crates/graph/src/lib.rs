@@ -44,13 +44,15 @@ pub mod grad;
 pub mod ir;
 pub mod ops;
 pub mod optimize;
+pub mod run;
 pub(crate) mod sched;
 pub mod session;
 pub mod shapes;
 
 pub use builder::GraphBuilder;
-pub use error::GraphError;
+pub use error::{ErrorKind, GraphError};
 pub use ir::{Graph, NodeId, OpKind, SubGraph};
+pub use run::{CancelToken, RunOptions};
 pub use session::Session;
 
 /// Crate-wide result alias.

@@ -34,10 +34,17 @@
 //! current thread (same storage, same kernels) to keep tiny loop bodies
 //! cheap.
 
+// The scheduler's error paths must never themselves panic: a stray
+// unwrap here would defeat the catch_unwind contract. Enforced by CI.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::error::panic_message;
 use crate::exec::{pack_outputs, subgraph_order, ExecEnv};
 use crate::ir::{GValue, Graph, NodeId, OpKind, SubGraph};
 use crate::ops;
+use crate::run::RunCtx;
 use crate::{GraphError, Result};
+use autograph_faults as faults;
 use autograph_obs as obs;
 use autograph_par as par;
 use autograph_tensor::Tensor;
@@ -180,6 +187,8 @@ pub(crate) fn wave_meta(graph: &Graph, order: Vec<NodeId>) -> WaveMeta {
 struct ParCtx<'a> {
     feeds: &'a HashMap<String, Tensor>,
     vars: Mutex<HashMap<String, Tensor>>,
+    /// Run limits and progress counters, shared with the session.
+    run: &'a RunCtx,
 }
 
 impl ParCtx<'_> {
@@ -247,6 +256,10 @@ impl<'r> ParRun<'r> {
     /// `exec::eval_node`, against the shared variable store).
     fn eval(&self, id: NodeId) -> Result<GValue> {
         let node = &self.graph.nodes[id];
+        self.ctx
+            .run
+            .before_node()
+            .map_err(|e| e.at_node(node.name.clone()).at_span(node.span))?;
         let v = match &node.op {
             OpKind::Placeholder { name } => self
                 .ctx
@@ -306,6 +319,16 @@ impl<'r> ParRun<'r> {
             }
             _ => {
                 let inputs = self.input_values(id)?;
+                // chaos-test hook; one relaxed atomic load when no plan
+                // is installed
+                match faults::inject("graph", node.op.mnemonic()) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        return Err(GraphError::runtime(e.to_string())
+                            .at_node(node.name.clone())
+                            .at_span(node.span))
+                    }
+                }
                 if obs::enabled() {
                     obs::count("graph", "node_evals", 1);
                     let _span = obs::span("graph_op", node.op.mnemonic());
@@ -330,10 +353,17 @@ impl<'r> ParRun<'r> {
                 let _ = self.slots[id].set(v);
             }
             Ok(Err(e)) => self.fail(e),
-            Err(_) => self.fail(GraphError::runtime(format!(
-                "node '{}' panicked during parallel execution",
-                self.graph.nodes[id].name
-            ))),
+            Err(payload) => {
+                let node = &self.graph.nodes[id];
+                self.fail(
+                    GraphError::panic(format!(
+                        "kernel panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))
+                    .at_node(node.name.clone())
+                    .at_span(node.span),
+                );
+            }
         }
     }
 
@@ -470,26 +500,39 @@ fn run_while(
     let cond_meta = wave_meta(&cond_g.graph, subgraph_order(cond_g));
     let body_meta = wave_meta(&body_g.graph, subgraph_order(body_g));
     let mut iters = 0u64;
-    loop {
-        let c = run_sub_with_meta(ctx, cond_g, &cond_meta, &state)?;
-        let keep = ops::as_bool_scalar(
+    let limit = ctx.run.while_limit(max_iters);
+    let outcome = loop {
+        let keep = match run_sub_with_meta(ctx, cond_g, &cond_meta, &state).and_then(|c| {
             c.first()
-                .ok_or_else(|| GraphError::runtime("while condition returned nothing"))?,
-        )?;
+                .ok_or_else(|| GraphError::runtime("while condition returned nothing"))
+                .and_then(ops::as_bool_scalar)
+        }) {
+            Ok(k) => k,
+            Err(e) => break Err(e),
+        };
         if !keep {
-            break;
+            break Ok(());
         }
-        state = run_sub_with_meta(ctx, body_g, &body_meta, &state)?;
+        state = match run_sub_with_meta(ctx, body_g, &body_meta, &state) {
+            Ok(s) => s,
+            Err(e) => break Err(e),
+        };
         iters += 1;
-        if let Some(limit) = max_iters {
+        if let Err(e) = ctx.run.after_while_iter() {
+            break Err(e);
+        }
+        if let Some(limit) = limit {
             if iters >= limit {
-                return Err(GraphError::runtime(format!(
+                break Err(GraphError::runtime(format!(
                     "while loop exceeded max_iters={limit}"
                 )));
             }
         }
-    }
+    };
+    // flush the partial iteration count even when the loop failed, so
+    // metrics and traces of failed runs reflect work done
     obs::observe("graph", "while_iters", iters);
+    outcome?;
     Ok(GValue::Tuple(state))
 }
 
@@ -502,12 +545,15 @@ pub(crate) fn run_plan_parallel(
     meta: &WaveMeta,
     env: &mut ExecEnv<'_>,
     fetches: &[NodeId],
+    rctx: &RunCtx,
 ) -> Result<Vec<GValue>> {
     obs::env::maybe_init_from_env();
+    faults::maybe_init_from_env();
     let vars = std::mem::take(env.variables);
     let ctx = ParCtx {
         feeds: env.feeds,
         vars: Mutex::new(vars),
+        run: rctx,
     };
     let result = {
         let run = ParRun::new(graph, meta, &[], &ctx);

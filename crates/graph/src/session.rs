@@ -18,6 +18,7 @@
 
 use crate::exec::{ExecEnv, Plan};
 use crate::ir::{GValue, Graph, NodeId};
+use crate::run::{RunCtx, RunOptions};
 use crate::Result;
 use autograph_obs as obs;
 use autograph_par as par;
@@ -72,6 +73,12 @@ pub struct SessionStats {
     pub plan_cache_misses: u64,
     /// Wall time spent compiling each fetch set's plan, in nanoseconds.
     pub plan_build_ns: HashMap<Vec<NodeId>, u64>,
+    /// Graph nodes dispatched across all runs — including work done
+    /// before a failed run's error, so partial progress is visible.
+    pub nodes_executed: u64,
+    /// Staged `While` iterations completed across all runs (failed runs
+    /// included).
+    pub while_iters: u64,
 }
 
 impl SessionStats {
@@ -90,6 +97,8 @@ pub struct SessionStatsShared {
     hits: AtomicU64,
     misses: AtomicU64,
     build_ns: Mutex<HashMap<Vec<NodeId>, u64>>,
+    nodes_executed: AtomicU64,
+    while_iters: AtomicU64,
 }
 
 impl SessionStatsShared {
@@ -103,6 +112,16 @@ impl SessionStatsShared {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Nodes dispatched across all runs, failed runs included.
+    pub fn nodes_executed(&self) -> u64 {
+        self.nodes_executed.load(Ordering::Relaxed)
+    }
+
+    /// Staged `While` iterations completed across all runs.
+    pub fn while_iters(&self) -> u64 {
+        self.while_iters.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the counters into a plain [`SessionStats`].
     pub fn snapshot(&self) -> SessionStats {
         SessionStats {
@@ -113,6 +132,8 @@ impl SessionStatsShared {
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
                 .clone(),
+            nodes_executed: self.nodes_executed.load(Ordering::Relaxed),
+            while_iters: self.while_iters.load(Ordering::Relaxed),
         }
     }
 }
@@ -192,7 +213,30 @@ impl Session {
     /// kernels, annotated with node names/spans. Fetching a non-tensor
     /// value (array/tuple) is an error — use [`Session::run_values`].
     pub fn run(&mut self, feeds: &[(&str, Tensor)], fetches: &[NodeId]) -> Result<Vec<Tensor>> {
-        self.run_values(feeds, fetches)?
+        self.run_with_options(feeds, fetches, &RunOptions::default())
+    }
+
+    /// [`Session::run`] under explicit limits: a wall-clock deadline, a
+    /// global while-iteration cap, and/or a [`crate::run::CancelToken`]
+    /// another thread can trigger. Limits are checked at every node
+    /// dispatch and loop iteration on both the sequential and parallel
+    /// paths; a tripped limit returns a
+    /// [`GraphError`](crate::GraphError) whose
+    /// `is_cancelled()`/`is_deadline_exceeded()` predicate holds, with
+    /// [`Session::stats`] still reflecting the work done up to that
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Session::run`], plus cancellation and
+    /// deadline expiry.
+    pub fn run_with_options(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        fetches: &[NodeId],
+        options: &RunOptions,
+    ) -> Result<Vec<Tensor>> {
+        self.run_values_with_options(feeds, fetches, options)?
             .into_iter()
             .map(|v| v.as_tensor().cloned())
             .collect()
@@ -207,6 +251,20 @@ impl Session {
         &mut self,
         feeds: &[(&str, Tensor)],
         fetches: &[NodeId],
+    ) -> Result<Vec<GValue>> {
+        self.run_values_with_options(feeds, fetches, &RunOptions::default())
+    }
+
+    /// [`Session::run_with_options`] returning structured [`GValue`]s.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Session::run_with_options`].
+    pub fn run_values_with_options(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        fetches: &[NodeId],
+        options: &RunOptions,
     ) -> Result<Vec<GValue>> {
         let key = fetches.to_vec();
         if self.plans.contains_key(&key) {
@@ -239,12 +297,27 @@ impl Session {
             feeds: &feed_map,
             variables: &mut self.variables,
         };
-        plan.run_threads(
+        // the run-level span closes on every exit path (drop guard), so
+        // Chrome traces of failed runs stay well-formed
+        let _run_span = obs::span("session", "run");
+        let ctx = RunCtx::from_options(&options.clone().resolved());
+        let result = plan.run_threads_ctx(
             &self.graph,
             &mut env,
             fetches,
             resolve_threads(self.threads),
-        )
+            &ctx,
+        );
+        // fold progress into the session counters on success AND failure:
+        // stats after a failed run reflect the work done before the error
+        self.stats.nodes_executed.fetch_add(
+            ctx.nodes_executed.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.stats
+            .while_iters
+            .fetch_add(ctx.while_iters.load(Ordering::Relaxed), Ordering::Relaxed);
+        result
     }
 }
 
@@ -372,6 +445,113 @@ mod tests {
         assert_eq!(out[0].scalar_value_f32().unwrap(), 42.0);
         sess.set_threads(1);
         assert_eq!(sess.effective_threads(), 1);
+    }
+
+    /// A staged `while True: i += 1` with no max_iters — only run limits
+    /// can stop it.
+    fn infinite_loop_graph() -> (Graph, NodeId) {
+        use crate::builder::SubGraphBuilder;
+        use crate::ir::OpKind;
+        let mut b = GraphBuilder::new();
+        let i0 = b.scalar(0.0);
+        let (mut cb, _cp) = SubGraphBuilder::new(1);
+        let t = cb.b.constant(Tensor::scalar_bool(true));
+        let cond_g = cb.finish(vec![t]);
+        let (mut bb, bp) = SubGraphBuilder::new(1);
+        let one = bb.b.scalar(1.0);
+        let i1 = bb.b.add_op(bp[0], one);
+        let body_g = bb.finish(vec![i1]);
+        let w = b.add(
+            OpKind::While {
+                cond_g,
+                body_g,
+                max_iters: None,
+            },
+            vec![i0],
+        );
+        (b.finish(), w)
+    }
+
+    #[test]
+    fn deadline_kills_infinite_loop_on_both_paths() {
+        use crate::run::RunOptions;
+        for threads in [1usize, 4] {
+            let (g, w) = infinite_loop_graph();
+            let mut sess = Session::new(g);
+            sess.set_threads(threads);
+            let opts = RunOptions::default().with_deadline(std::time::Duration::from_millis(50));
+            let t0 = std::time::Instant::now();
+            let err = sess.run_with_options(&[], &[w], &opts).unwrap_err();
+            assert!(err.is_deadline_exceeded(), "threads={threads}: {err}");
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(10),
+                "terminated promptly"
+            );
+            // partial progress is visible after the failed run
+            let stats = sess.stats();
+            assert!(stats.while_iters > 0, "threads={threads}");
+            assert!(stats.nodes_executed > 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancel_token_kills_infinite_loop_on_both_paths() {
+        use crate::run::{CancelToken, RunOptions};
+        for threads in [1usize, 4] {
+            let (g, w) = infinite_loop_graph();
+            let mut sess = Session::new(g);
+            sess.set_threads(threads);
+            let token = CancelToken::new();
+            let remote = token.clone();
+            let canceller = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                remote.cancel();
+            });
+            let err = sess
+                .run_with_options(&[], &[w], &RunOptions::default().with_cancel(token))
+                .unwrap_err();
+            canceller.join().unwrap();
+            assert!(err.is_cancelled(), "threads={threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn max_while_iters_option_caps_unbounded_loop() {
+        use crate::run::RunOptions;
+        let (g, w) = infinite_loop_graph();
+        let mut sess = Session::new(g);
+        sess.set_threads(1);
+        let err = sess
+            .run_with_options(&[], &[w], &RunOptions::default().with_max_while_iters(10))
+            .unwrap_err();
+        assert!(err.to_string().contains("max_iters=10"), "{err}");
+        assert_eq!(sess.stats().while_iters, 10);
+    }
+
+    #[test]
+    fn stats_after_failed_run_reflect_partial_work() {
+        // regression: counters must cover nodes executed BEFORE the
+        // failing node, not reset to zero on error
+        let mut b = GraphBuilder::new();
+        let a = b.scalar(1.0);
+        let c = b.scalar(2.0);
+        let ok = b.add_op(a, c);
+        let bad = b.constant(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let fail = b.matmul(bad, bad); // rank-1 matmul fails at runtime
+        let grp = b.add(crate::ir::OpKind::Group, vec![ok, fail]);
+        let mut sess = Session::new(b.finish());
+        sess.set_threads(1);
+        let err = sess.run(&[], &[grp]).unwrap_err();
+        assert!(err.node.is_some(), "{err}");
+        let stats = sess.stats();
+        assert!(
+            stats.nodes_executed >= 3,
+            "work before the failure is counted: {stats:?}"
+        );
+        // a successful follow-up run keeps accumulating
+        let before = stats.nodes_executed;
+        sess.run(&[], &[ok]).unwrap();
+        assert!(sess.stats().nodes_executed > before);
     }
 
     #[test]

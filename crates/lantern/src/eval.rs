@@ -77,6 +77,17 @@ pub struct Engine {
     program: Program,
 }
 
+/// Best-effort human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl Engine {
     /// Wrap a compiled program.
     pub fn new(program: Program) -> Engine {
@@ -111,6 +122,24 @@ impl Engine {
         externs: &[(&str, LValue)],
         params: &[(&str, Tensor)],
     ) -> Result<LValue> {
+        // panic isolation: interpreter + kernel panics become structured
+        // errors instead of unwinding through the embedding application
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_values_inner(externs, params)
+        }))
+        .unwrap_or_else(|p| {
+            Err(LanternError::new(format!(
+                "evaluator panicked: {}",
+                panic_message(p.as_ref())
+            )))
+        })
+    }
+
+    fn run_values_inner(
+        &self,
+        externs: &[(&str, LValue)],
+        params: &[(&str, Tensor)],
+    ) -> Result<LValue> {
         let (ext, par) = self.bind(externs, params, None)?;
         let mut ctx = Ctx {
             program: &self.program,
@@ -130,6 +159,24 @@ impl Engine {
     /// Fails when the program output is not a scalar tensor, or on any
     /// kernel error.
     pub fn grad(
+        &self,
+        externs: &[(&str, LValue)],
+        params: &[(&str, Tensor)],
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        // the reified backward continuations index gradient slots and call
+        // shape-sensitive kernels directly; isolate their panics too
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.grad_inner(externs, params)
+        }))
+        .unwrap_or_else(|p| {
+            Err(LanternError::new(format!(
+                "gradient evaluation panicked: {}",
+                panic_message(p.as_ref())
+            )))
+        })
+    }
+
+    fn grad_inner(
         &self,
         externs: &[(&str, LValue)],
         params: &[(&str, Tensor)],

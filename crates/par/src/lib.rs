@@ -28,10 +28,14 @@
 //! as per-worker lanes in Chrome traces via `autograph-obs`), and each
 //! injection records the queue depth to the `par/queue_depth` gauge.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use autograph_faults as faults;
 use autograph_obs as obs;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -76,6 +80,13 @@ fn shared() -> &'static Shared {
     })
 }
 
+/// Lock a pool mutex, shrugging off poisoning: pool state is only
+/// mutated under the lock by straight-line code (no panics mid-update),
+/// so a poisoned guard's contents are always consistent.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// Number of hardware threads, with a floor of 1.
 pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()
@@ -97,13 +108,18 @@ pub fn configure(threads: usize) {
     let threads = threads.max(1);
     let s = shared();
     s.budget.fetch_max(threads, Ordering::Relaxed);
-    let mut spawned = s.spawned.lock().expect("par pool spawn lock");
+    let mut spawned = lock_unpoisoned(&s.spawned);
     while *spawned + 1 < threads {
         let idx = *spawned;
-        std::thread::Builder::new()
+        let worker = std::thread::Builder::new()
             .name(format!("ag-par-{idx}"))
-            .spawn(move || worker_loop(idx))
-            .expect("spawn pool worker");
+            .spawn(move || worker_loop(idx));
+        if worker.is_err() {
+            // can't get more OS threads: run degraded — callers always
+            // help drain the queue themselves, so progress is unaffected
+            obs::count("par", "spawn_failures", 1);
+            break;
+        }
         *spawned += 1;
     }
 }
@@ -112,15 +128,15 @@ fn worker_loop(_idx: usize) {
     let s = shared();
     loop {
         let task = {
-            let mut q = s.queue.lock().expect("par queue lock");
+            let mut q = lock_unpoisoned(&s.queue);
             loop {
                 if let Some(t) = q.pop_front() {
                     break t;
                 }
-                let (guard, _) =
-                    s.cv.wait_timeout(q, Duration::from_millis(100))
-                        .expect("par queue condvar");
-                q = guard;
+                q = match s.cv.wait_timeout(q, Duration::from_millis(100)) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
             }
         };
         run_task(task);
@@ -129,9 +145,23 @@ fn worker_loop(_idx: usize) {
 
 fn run_task(task: Task) {
     let _span = obs::span("par", "task");
-    // SAFETY: upheld by the `inject` caller — the task state is alive and
-    // shareable until the task completes.
-    unsafe { (task.run)(task.data, task.arg) };
+    // chaos-test hook: delay rules perturb task timing (never values);
+    // one relaxed atomic load when no fault plan is installed
+    faults::scheduler_delay("par", "task");
+    // The pool must survive a panicking task: without this boundary a
+    // panic would kill the worker thread (shrinking the pool forever) or
+    // unwind through an unrelated caller helping from `help_until`.
+    // Run-level bookkeeping is the task entry's job — both schedulers'
+    // entries catch panics themselves and record a structured failure, so
+    // a payload reaching this backstop has already been accounted for.
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        // SAFETY: upheld by the `inject` caller — the task state is alive
+        // and shareable until the task completes.
+        unsafe { (task.run)(task.data, task.arg) };
+    }));
+    if r.is_err() {
+        obs::count("par", "task_panics", 1);
+    }
 }
 
 /// Push tasks onto the global queue and wake workers.
@@ -147,7 +177,7 @@ pub unsafe fn inject<I: IntoIterator<Item = Task>>(tasks: I) {
     let s = shared();
     let depth;
     {
-        let mut q = s.queue.lock().expect("par queue lock");
+        let mut q = lock_unpoisoned(&s.queue);
         q.extend(tasks);
         depth = q.len() as u64;
     }
@@ -157,7 +187,7 @@ pub unsafe fn inject<I: IntoIterator<Item = Task>>(tasks: I) {
 
 /// Pop and execute one queued task, if any. Returns whether a task ran.
 pub fn try_run_one() -> bool {
-    let task = shared().queue.lock().expect("par queue lock").pop_front();
+    let task = lock_unpoisoned(&shared().queue).pop_front();
     match task {
         Some(t) => {
             run_task(t);
@@ -207,20 +237,40 @@ pub fn parallel_for(n: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)
         nchunks: usize,
         next: AtomicUsize,
         live: AtomicUsize,
+        /// Set when any chunk's body panicked; stops further claiming.
+        panicked: AtomicBool,
+        /// First captured panic payload, re-thrown on the calling thread.
+        payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     }
+    /// Claim and run chunks. Panic-safe: a panicking body marks the job
+    /// failed and stores its payload instead of unwinding, so `live`
+    /// bookkeeping below never deadlocks and sibling workers survive.
     fn claim(job: &ForJob<'_>) {
         loop {
+            if job.panicked.load(Ordering::Acquire) {
+                break;
+            }
             let c = job.next.fetch_add(1, Ordering::Relaxed);
             if c >= job.nchunks {
                 break;
             }
             let start = c * job.chunk;
-            (job.body)(start..(start + job.chunk).min(job.n));
+            let range = start..(start + job.chunk).min(job.n);
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| (job.body)(range))) {
+                if let Ok(mut slot) = job.payload.lock() {
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                }
+                job.panicked.store(true, Ordering::Release);
+                break;
+            }
         }
     }
     unsafe fn entry(data: *const (), _arg: usize) {
         // SAFETY: `data` points at the ForJob on the injecting thread's
-        // stack, kept alive until `live` reaches zero below.
+        // stack, kept alive until `live` reaches zero below. `claim`
+        // cannot unwind, so the decrement always runs.
         let job = unsafe { &*(data as *const ForJob<'_>) };
         claim(job);
         job.live.fetch_sub(1, Ordering::Release);
@@ -234,6 +284,8 @@ pub fn parallel_for(n: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)
         nchunks,
         next: AtomicUsize::new(0),
         live: AtomicUsize::new(helpers),
+        panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
     };
     // SAFETY: `job` lives on this stack frame; we do not return until
     // every helper task has decremented `live`, i.e. finished executing.
@@ -246,9 +298,17 @@ pub fn parallel_for(n: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)
     }
     claim(&job);
     help_until(|| job.live.load(Ordering::Acquire) == 0);
+    // re-throw the first body panic on the caller — same observable
+    // behavior as the sequential loop, and the caller's catch_unwind
+    // boundary (the graph executor's) converts it to a structured error
+    let payload = job.payload.lock().unwrap_or_else(|p| p.into_inner()).take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
@@ -311,6 +371,50 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), 16 * 64);
+    }
+
+    /// Regression for pool poisoning: a panicking `parallel_for` body must
+    /// (a) propagate the panic to the caller and (b) leave the worker pool
+    /// fully functional for subsequent runs. Before panic isolation, the
+    /// unwound helper skipped its `live` decrement and the caller hung in
+    /// `help_until` forever.
+    #[test]
+    fn pool_survives_panicking_bodies_repeatedly() {
+        // the expected panics fire on pool threads, whose stderr libtest
+        // cannot capture — silence just those to keep test output readable
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let silent = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected body panic"));
+            if !silent {
+                prev(info);
+            }
+        }));
+        configure(4);
+        let n = 4096;
+        for iter in 0..50 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                parallel_for(n, 16, &|r| {
+                    for i in r {
+                        if i == 1234 {
+                            panic!("injected body panic (iter {iter})");
+                        }
+                    }
+                });
+            }));
+            assert!(r.is_err(), "body panic must reach the caller");
+            // the pool must still run a clean job to completion, covering
+            // every index exactly once
+            let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            parallel_for(n, 16, &|r| {
+                for i in r {
+                    slots[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(slots.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+        }
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct Interp {
     /// Conversion options used by `ag.converted_call` when it converts a
     /// function at runtime.
     pub config: autograph_transforms::ConversionConfig,
+    /// Functions that degraded to eager execution under
+    /// [`autograph_transforms::ConversionPolicy::FallbackToEager`], in the
+    /// order encountered (load-time conversions first, then runtime
+    /// `converted_call` conversions).
+    pub conversion_warnings: Vec<autograph_transforms::ConversionWarning>,
     /// Deterministic RNG for `tf.random_*`.
     pub rng: Rng64,
     /// Original-source location of the construct currently being
@@ -91,6 +96,7 @@ impl Interp {
             stage: Stage::Eager,
             conversion_cache: HashMap::new(),
             config: autograph_transforms::ConversionConfig::default(),
+            conversion_warnings: Vec::new(),
             rng: Rng64::new(0x5EED),
             current_span: autograph_pylang::Span::synthetic(),
             pending_loop_options: None,

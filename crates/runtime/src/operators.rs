@@ -930,6 +930,10 @@ pub fn ensure_converted(i: &mut Interp, f: &Rc<PyFunction>) -> Result<Rc<PyFunct
     });
     let module = Module { body: vec![fdef] };
     let converted = autograph_transforms::convert_module(module, &i.config.clone())?;
+    // Under FallbackToEager an unconvertible function comes back verbatim
+    // with a warning; marking it as an artifact below caches the decision
+    // and lets it run op-by-op in the eager interpreter.
+    i.conversion_warnings.extend(converted.warnings);
     let body = match converted.module.body.into_iter().next() {
         Some(autograph_pylang::ast::Stmt {
             kind: StmtKind::FunctionDef { body, .. },

@@ -89,20 +89,45 @@ impl Runtime {
     /// Returns parse and conversion errors (located in the original
     /// source) and errors from executing top-level statements.
     pub fn load(source: &str, convert: bool) -> Result<Runtime> {
+        if convert {
+            return Runtime::load_with(source, &autograph_transforms::ConversionConfig::default());
+        }
         let module = autograph_pylang::parse_module(source)?;
-        let module = if convert {
-            autograph_transforms::convert_module(
-                module,
-                &autograph_transforms::ConversionConfig::default(),
-            )?
-            .module
-        } else {
-            module
-        };
         let mut interp = Interp::new();
         let globals = global_env();
         interp.exec_block(&module.body, &globals)?;
         Ok(Runtime { interp, globals })
+    }
+
+    /// Load PyLite source through the conversion pipeline with explicit
+    /// options. With
+    /// [`ConversionPolicy::FallbackToEager`](autograph_transforms::ConversionPolicy)
+    /// unsupported functions are kept unconverted (they run op-by-op in
+    /// the eager interpreter) and reported via [`Runtime::warnings`]
+    /// instead of failing the load.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors, conversion errors (under the strict policy),
+    /// and errors from executing top-level statements.
+    pub fn load_with(
+        source: &str,
+        config: &autograph_transforms::ConversionConfig,
+    ) -> Result<Runtime> {
+        let module = autograph_pylang::parse_module(source)?;
+        let converted = autograph_transforms::convert_module(module, config)?;
+        let mut interp = Interp::new();
+        interp.config = config.clone();
+        interp.conversion_warnings = converted.warnings;
+        let globals = global_env();
+        interp.exec_block(&converted.module.body, &globals)?;
+        Ok(Runtime { interp, globals })
+    }
+
+    /// Degradations recorded so far: load-time fallbacks first, then any
+    /// functions `ag.converted_call` failed to convert at runtime.
+    pub fn warnings(&self) -> &[autograph_transforms::ConversionWarning] {
+        &self.interp.conversion_warnings
     }
 
     /// Fetch a loaded function by name.

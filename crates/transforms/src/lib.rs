@@ -55,4 +55,6 @@ pub mod wrappers;
 
 pub use context::PassContext;
 pub use error::ConversionError;
-pub use pipeline::{convert_module, ConversionConfig, Converted};
+pub use pipeline::{
+    convert_module, ConversionConfig, ConversionPolicy, ConversionWarning, Converted,
+};

@@ -18,7 +18,23 @@ use crate::context::PassContext;
 use crate::error::ConversionError;
 use crate::srcmap::SourceMap;
 use autograph_obs as obs;
-use autograph_pylang::{Module, Stmt, StmtKind};
+use autograph_pylang::{Module, Span, Stmt, StmtKind};
+
+/// What to do when a construct is legal PyLite but unsupported by the
+/// conversion passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConversionPolicy {
+    /// Fail the whole conversion with a [`ConversionError`] at the
+    /// offending construct (the historical behavior).
+    #[default]
+    Strict,
+    /// Keep the offending top-level function unconverted — it still runs,
+    /// op-by-op, in the eager interpreter — and record a
+    /// [`ConversionWarning`] instead of failing. Functions that do convert
+    /// are staged as usual, so a program degrades per-function, not
+    /// all-or-nothing.
+    FallbackToEager,
+}
 
 /// Options controlling conversion, the analog of `ag.convert()`'s keyword
 /// arguments.
@@ -31,6 +47,8 @@ pub struct ConversionConfig {
     pub convert_logical: bool,
     /// Convert control flow into functional forms.
     pub convert_control_flow: bool,
+    /// What to do with unsupported constructs.
+    pub policy: ConversionPolicy,
 }
 
 impl Default for ConversionConfig {
@@ -39,7 +57,31 @@ impl Default for ConversionConfig {
             convert_calls: true,
             convert_logical: true,
             convert_control_flow: true,
+            policy: ConversionPolicy::Strict,
         }
+    }
+}
+
+/// A recorded degradation: a function that could not be converted and was
+/// left to run eagerly under [`ConversionPolicy::FallbackToEager`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversionWarning {
+    /// The top-level function that was left unconverted (`<module>` for
+    /// module-level statements).
+    pub function: String,
+    /// Location of the construct that blocked conversion.
+    pub span: Span,
+    /// Why conversion failed.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ConversionWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "function '{}' falls back to eager execution: {} (at {})",
+            self.function, self.reason, self.span
+        )
     }
 }
 
@@ -51,18 +93,42 @@ pub struct Converted {
     pub module: Module,
     /// Map from generated-source lines back to original spans.
     pub source_map: SourceMap,
+    /// Functions left unconverted under
+    /// [`ConversionPolicy::FallbackToEager`] (always empty under
+    /// [`ConversionPolicy::Strict`]).
+    pub warnings: Vec<ConversionWarning>,
 }
 
 /// Convert a module through all passes.
 ///
 /// # Errors
 ///
-/// Returns the first [`ConversionError`] raised by any pass, located at
-/// the offending construct in the user's original source.
+/// Under [`ConversionPolicy::Strict`], returns the first
+/// [`ConversionError`] raised by any pass, located at the offending
+/// construct in the user's original source. Under
+/// [`ConversionPolicy::FallbackToEager`], unconvertible top-level
+/// functions are kept verbatim and reported in
+/// [`Converted::warnings`]; only parse-level impossibilities still error.
 pub fn convert_module(
     module: Module,
     config: &ConversionConfig,
 ) -> Result<Converted, ConversionError> {
+    match config.policy {
+        ConversionPolicy::Strict => {
+            let m = convert_stmts(module, config)?;
+            let source_map = SourceMap::build(&m);
+            Ok(Converted {
+                module: m,
+                source_map,
+                warnings: Vec::new(),
+            })
+        }
+        ConversionPolicy::FallbackToEager => convert_module_fallback(module, config),
+    }
+}
+
+/// Run the full pass sequence over a module, failing on the first error.
+fn convert_stmts(module: Module, config: &ConversionConfig) -> Result<Module, ConversionError> {
     let mut ctx = PassContext::new();
     let mut m = module;
     m = run_pass("directives", m, &mut ctx, crate::directives::run)?;
@@ -83,10 +149,47 @@ pub fn convert_module(
         m = run_pass("logical", m, &mut ctx, crate::logical::run)?;
     }
     m = run_pass("wrappers", m, &mut ctx, crate::wrappers::run)?;
+    Ok(m)
+}
+
+/// Graceful degradation: convert each top-level statement independently so
+/// one unsupported function does not take down the whole module. Each
+/// statement gets a fresh [`PassContext`]; generated temp names are
+/// function-scoped, so restarting the gensym counter per statement is
+/// safe.
+fn convert_module_fallback(
+    module: Module,
+    config: &ConversionConfig,
+) -> Result<Converted, ConversionError> {
+    let mut out_body: Vec<Stmt> = Vec::with_capacity(module.body.len());
+    let mut warnings = Vec::new();
+    for stmt in module.body {
+        let function = match &stmt.kind {
+            StmtKind::FunctionDef { name, .. } => name.clone(),
+            _ => "<module>".to_string(),
+        };
+        let single = Module {
+            body: vec![stmt.clone()],
+        };
+        match convert_stmts(single, config) {
+            Ok(m) => out_body.extend(m.body),
+            Err(e) => {
+                obs::count("transform", "eager_fallbacks", 1);
+                warnings.push(ConversionWarning {
+                    function,
+                    span: e.span,
+                    reason: e.message,
+                });
+                out_body.push(stmt);
+            }
+        }
+    }
+    let m = Module { body: out_body };
     let source_map = SourceMap::build(&m);
     Ok(Converted {
         module: m,
         source_map,
+        warnings,
     })
 }
 
@@ -208,6 +311,7 @@ def search(scores, max_len):
             convert_calls: false,
             convert_logical: false,
             convert_control_flow: false,
+            ..Default::default()
         };
         let out = convert_source(
             "def f(x):\n    if g(x) and h(x):\n        x = 1\n    return x\n",
@@ -218,6 +322,44 @@ def search(scores, max_len):
         assert!(!out.contains("ag.and_"));
         assert!(!out.contains("ag.if_stmt"));
         assert!(out.contains("@ag.autograph_artifact"));
+    }
+
+    #[test]
+    fn fallback_policy_keeps_unsupported_function_and_warns() {
+        let src = "\
+def bad():
+    global x
+    return x
+
+def good(y):
+    if y > 0:
+        y = y * 2
+    return y
+";
+        let cfg = ConversionConfig {
+            policy: ConversionPolicy::FallbackToEager,
+            ..Default::default()
+        };
+        let module = parse_module(src).unwrap();
+        let conv = convert_module(module, &cfg).unwrap();
+        assert_eq!(conv.warnings.len(), 1);
+        assert_eq!(conv.warnings[0].function, "bad");
+        assert!(conv.warnings[0].reason.contains("global"));
+        let out = autograph_pylang::codegen::ast_to_source(&conv.module);
+        // `good` converted; `bad` kept verbatim (no artifact decorator)
+        assert!(out.contains("ag.if_stmt("), "{out}");
+        assert!(out.contains("global x"), "{out}");
+        assert!(parse_module(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn strict_policy_never_warns() {
+        let conv = convert_module(
+            parse_module("def f(x):\n    return x\n").unwrap(),
+            &ConversionConfig::default(),
+        )
+        .unwrap();
+        assert!(conv.warnings.is_empty());
     }
 
     #[test]

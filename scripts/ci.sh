@@ -9,6 +9,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# error paths must not panic: the fault-injection crate and the worker
+# pool ban unwrap/expect crate-wide; the graph executors (exec.rs,
+# sched.rs) carry the same module-level #![deny], which the workspace
+# clippy pass above enforces
+echo "== cargo clippy (no unwrap/expect in fault & executor paths)"
+cargo clippy -p autograph-faults -p autograph-par --no-deps -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== cargo build --release"
 cargo build --release --workspace
 
@@ -20,6 +28,15 @@ AUTOGRAPH_THREADS=1 cargo test -q --workspace
 
 echo "== cargo test (AUTOGRAPH_THREADS=4)"
 AUTOGRAPH_THREADS=4 cargo test -q --workspace
+
+# chaos suite: deterministic fault injection over the differential corpus,
+# two seed families (each test internally covers threads 1 and 4 and a
+# second derived seed) — every injected fault must surface as a structured
+# Err, and non-faulted reruns must stay bitwise identical
+for seed in 7 982451653; do
+    echo "== cargo test chaos (AUTOGRAPH_CHAOS_SEED=$seed)"
+    AUTOGRAPH_CHAOS_SEED=$seed cargo test -q --test chaos
+done
 
 echo "== parallel executor baseline (BENCH_parallel.json)"
 cargo run --release -q -p autograph-bench --bin table1 -- \

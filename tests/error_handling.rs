@@ -161,6 +161,210 @@ fn staged_assert_fires_at_graph_execution() {
     assert!(err.to_string().contains("x must be positive"), "{err}");
 }
 
+// ---- runtime-phase failures: loops, deadlines, cancellation -------------------
+
+#[test]
+fn runtime_shape_mismatch_inside_while_loop_attributed() {
+    // the first matmul [1,2]x[2,3] succeeds; the loop-carried second
+    // iteration tries [1,3]x[2,3] and fails at *runtime*, inside the
+    // staged While body — the error must still point at the user's line
+    let src = "\
+def f(x, w):
+    i = 0
+    while i < 3:
+        x = tf.matmul(x, w)
+        i = i + 1
+    return x
+";
+    let mut rt = Runtime::load(src, true).expect("load");
+    let staged = rt
+        .stage_to_graph(
+            "f",
+            vec![
+                GraphArg::Placeholder("x".into()),
+                GraphArg::Placeholder("w".into()),
+            ],
+        )
+        .expect("stage");
+    let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+    let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+    for threads in [1, 4] {
+        let mut sess = Session::new(staged.graph.clone());
+        sess.set_threads(threads);
+        let err = sess
+            .run(&[("x", x.clone()), ("w", w.clone())], &staged.outputs)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"), "t{threads}: {msg}");
+        assert!(
+            msg.contains("original source 4:"),
+            "t{threads}: span rewritten: {msg}"
+        );
+    }
+}
+
+/// Stage `def f(x): while tf.reduce_sum(x) > 0.0: x = x + 1.0` — an
+/// infinite loop for any positive feed.
+fn staged_infinite_loop() -> (autograph::graph::Graph, Vec<autograph::graph::NodeId>) {
+    let src = "\
+def f(x):
+    while tf.reduce_sum(x) > 0.0:
+        x = x + 1.0
+    return x
+";
+    let mut rt = Runtime::load(src, true).expect("load");
+    let staged = rt
+        .stage_to_graph("f", vec![GraphArg::Placeholder("x".into())])
+        .expect("stage");
+    (staged.graph, staged.outputs)
+}
+
+#[test]
+fn deadline_exceeded_reported_with_user_span() {
+    let (graph, outputs) = staged_infinite_loop();
+    for threads in [1, 4] {
+        let mut sess = Session::new(graph.clone());
+        sess.set_threads(threads);
+        let opts = RunOptions::default().with_deadline(std::time::Duration::from_millis(40));
+        let err = sess
+            .run_with_options(&[("x", Tensor::scalar_f32(1.0))], &outputs, &opts)
+            .unwrap_err();
+        assert!(err.is_deadline_exceeded(), "t{threads}: {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("deadline exceeded"), "t{threads}: {msg}");
+        // the check trips at whichever loop node runs next — condition
+        // (line 2) or body (line 3) — but always carries a user span
+        assert!(
+            msg.contains("original source 2:") || msg.contains("original source 3:"),
+            "t{threads}: deadline error must point inside the staged loop: {msg}"
+        );
+        // partial work is visible even though the run failed
+        assert!(sess.stats().while_iters > 0, "t{threads}");
+    }
+}
+
+#[test]
+fn cancelled_run_reported_with_user_span() {
+    let (graph, outputs) = staged_infinite_loop();
+    for threads in [1, 4] {
+        let mut sess = Session::new(graph.clone());
+        sess.set_threads(threads);
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        let opts = RunOptions::default().with_cancel(token);
+        let err = sess
+            .run_with_options(&[("x", Tensor::scalar_f32(1.0))], &outputs, &opts)
+            .unwrap_err();
+        canceller.join().expect("canceller thread");
+        assert!(err.is_cancelled(), "t{threads}: {err}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("original source 2:") || msg.contains("original source 3:"),
+            "t{threads}: cancel error must point inside the staged loop: {msg}"
+        );
+    }
+}
+
+// ---- graceful degradation: FallbackToEager ------------------------------------
+
+/// Three deliberately-unsupported programs: each fails strict conversion,
+/// yet runs end-to-end under `FallbackToEager` with results identical to
+/// the unconverted eager reference.
+#[test]
+fn fallback_to_eager_runs_unsupported_programs_end_to_end() {
+    struct Case {
+        name: &'static str,
+        src: &'static str,
+        rejected: &'static str,
+    }
+    let cases = [
+        Case {
+            name: "pop_buried_in_expression",
+            src: "\
+def f(x):
+    acc = []
+    acc.append(x * 2.0)
+    y = tf.reduce_sum(acc.pop()) + 1.0
+    return y
+",
+            rejected: "statement or simple assignment",
+        },
+        Case {
+            name: "break_outside_loop",
+            src: "\
+def f(x):
+    i = 0
+    if i > 0:
+        break
+    return x * 3.0
+",
+            rejected: "'break' outside of a loop",
+        },
+        Case {
+            name: "directive_on_non_name",
+            src: "\
+def f(x):
+    acc = [[]]
+    ag.set_element_type(acc[0], tf.float32)
+    return x * 2.0 + 1.0
+",
+            rejected: "must be a variable name",
+        },
+    ];
+    let feed = Tensor::from_vec(vec![1.5, -2.5, 4.0], &[3]).unwrap();
+    for case in &cases {
+        // strict conversion rejects the program outright
+        let strict = Runtime::load(case.src, true);
+        let err = strict
+            .err()
+            .unwrap_or_else(|| panic!("{}: strict load must fail", case.name));
+        assert!(
+            err.to_string().contains(case.rejected),
+            "{}: {err}",
+            case.name
+        );
+
+        // fallback keeps the function, records a warning, and runs it
+        let cfg = ConversionConfig {
+            policy: ConversionPolicy::FallbackToEager,
+            ..Default::default()
+        };
+        let mut rt = Runtime::load_with(case.src, &cfg)
+            .unwrap_or_else(|e| panic!("{}: fallback load: {e}", case.name));
+        assert_eq!(rt.warnings().len(), 1, "{}", case.name);
+        assert_eq!(rt.warnings()[0].function, "f", "{}", case.name);
+        let got = rt
+            .call("f", vec![Value::tensor(feed.clone())])
+            .unwrap_or_else(|e| panic!("{}: fallback call: {e}", case.name))
+            .as_eager_tensor()
+            .expect("tensor result");
+
+        // unconverted eager reference
+        let mut reference = Runtime::load(case.src, false)
+            .unwrap_or_else(|e| panic!("{}: reference load: {e}", case.name));
+        let want = reference
+            .call("f", vec![Value::tensor(feed.clone())])
+            .unwrap_or_else(|e| panic!("{}: reference call: {e}", case.name))
+            .as_eager_tensor()
+            .expect("tensor result");
+        assert_eq!(got.shape(), want.shape(), "{}", case.name);
+        for (a, b) in got.to_f32_vec().iter().zip(want.to_f32_vec()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: fallback {a} vs eager {b}",
+                case.name
+            );
+        }
+    }
+}
+
 // ---- source maps ---------------------------------------------------------------
 
 #[test]

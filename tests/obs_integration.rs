@@ -63,4 +63,60 @@ def f(x):
     sess.run(&feeds, &staged.outputs)
         .expect("uninstrumented run");
     assert_eq!(rec.summary().counter("graph/node_evals"), before);
+
+    // ---- failed runs still produce a well-formed trace --------------------
+    // The loop-carried matmul succeeds on iteration 1 and fails on
+    // iteration 2 ([1,3] x [2,3]); every span opened before the failure
+    // must still close (drop guards), and the pre-failure While iteration
+    // count must be flushed despite the error.
+    let src = "\
+def f(x, w):
+    i = 0
+    while i < 3:
+        x = tf.matmul(x, w)
+        i = i + 1
+    return x
+";
+    let mut rt = Runtime::load(src, true).expect("load failing program");
+    let staged = rt
+        .stage_to_graph(
+            "f",
+            vec![
+                GraphArg::Placeholder("x".into()),
+                GraphArg::Placeholder("w".into()),
+            ],
+        )
+        .expect("stage failing program");
+    let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+    let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+    for threads in [1, 4] {
+        let rec = Arc::new(obs::AggregateRecorder::new());
+        obs::install(rec.clone());
+        let mut sess = Session::new(staged.graph.clone());
+        sess.set_threads(threads);
+        let err = sess
+            .run(&[("x", x.clone()), ("w", w.clone())], &staged.outputs)
+            .unwrap_err();
+        obs::uninstall();
+        assert!(err.to_string().contains("matmul"), "t{threads}: {err}");
+
+        let summary = rec.summary();
+        // kernel spans before the failure were recorded and closed
+        assert!(
+            summary.rows.iter().any(|r| r.key.starts_with("graph_op/")),
+            "t{threads}: failed run recorded no kernel spans: {:?}",
+            summary.rows.iter().map(|r| &r.key).collect::<Vec<_>>()
+        );
+        // the completed first iteration was flushed despite the error
+        let iters = summary
+            .row("graph/while_iters")
+            .unwrap_or_else(|| panic!("t{threads}: while_iters missing after failed run"));
+        assert!(
+            iters.total_ns >= 1,
+            "t{threads}: pre-failure iterations lost: {iters:?}"
+        );
+        // the session's own stats agree
+        assert!(sess.stats().while_iters >= 1, "t{threads}");
+        assert!(sess.stats().nodes_executed > 0, "t{threads}");
+    }
 }
