@@ -36,24 +36,31 @@ fn main() {
         ("Handwritten".into(), vec![]),
         ("AutoGraph".into(), vec![]),
     ];
+    // (config, cell, rate stats) for --json-table
+    let mut cells: Vec<(usize, String, autograph_bench::Stats)> = Vec::new();
 
     for &seq in &seqs {
         for &batch in &batches {
             let inp = rnn::inputs(batch, seq, feat, hidden, 7);
             let k_examples = batch as f64 / 1000.0;
+            let cell = format!("seq{seq}_batch{batch}");
 
             // Eager: interpret the imperative source per run
             let mut rt = rnn::runtime(&weights, false).expect("load");
             let s = measure(warmup, runs, || {
                 rnn::run_eager(&mut rt, &inp).expect("eager run");
-            });
-            rows[0].1.push(s.rate(k_examples).display(1.0, 2));
+            })
+            .rate(k_examples);
+            rows[0].1.push(s.display(1.0, 2));
+            cells.push((0, cell.clone(), s));
 
             // Official: fused kernel
             let s = measure(warmup, runs, || {
                 rnn::official(&weights, &inp).expect("official run");
-            });
-            rows[1].1.push(s.rate(k_examples).display(1.0, 2));
+            })
+            .rate(k_examples);
+            rows[1].1.push(s.display(1.0, 2));
+            cells.push((1, cell.clone(), s));
 
             // Handwritten graph
             let (g, fetches) = rnn::build_handwritten(&weights);
@@ -65,8 +72,10 @@ fn main() {
             ];
             let s = measure(warmup, runs, || {
                 sess.run(&feeds, &fetches).expect("handwritten run");
-            });
-            rows[2].1.push(s.rate(k_examples).display(1.0, 2));
+            })
+            .rate(k_examples);
+            rows[2].1.push(s.display(1.0, 2));
+            cells.push((2, cell.clone(), s));
 
             // AutoGraph: converted + staged once, then Session::run
             let mut rt = rnn::runtime(&weights, true).expect("load");
@@ -75,8 +84,10 @@ fn main() {
             let outputs = staged.outputs.clone();
             let s = measure(warmup, runs, || {
                 sess.run(&feeds, &outputs).expect("autograph run");
-            });
-            rows[3].1.push(s.rate(k_examples).display(1.0, 2));
+            })
+            .rate(k_examples);
+            rows[3].1.push(s.display(1.0, 2));
+            cells.push((3, cell, s));
         }
     }
 
@@ -86,8 +97,56 @@ fn main() {
     rule(header.len());
     println!("\nPaper shape: Eager slowest by ~2-3x; Official ≈ Handwritten ≈ AutoGraph.");
 
+    if let Some(path) = &args.json_table {
+        write_table_json(path, &args, threads, hidden, feat, &rows, &cells);
+    }
+
     multi_branch_section(&args, threads, hidden, feat, warmup, runs);
     profiler.finish();
+}
+
+/// Emit the main table as JSON keyed `rates.<config>.<cell>.rate` —
+/// `rate` gates as higher-is-better in `autograph-report diff`, `std`
+/// stays informational.
+fn write_table_json(
+    path: &str,
+    args: &HarnessArgs,
+    threads: usize,
+    hidden: usize,
+    feat: usize,
+    rows: &[(String, Vec<String>)],
+    cells: &[(usize, String, autograph_bench::Stats)],
+) {
+    let mut json = String::from("{\n  \"bench\": \"table1\",\n");
+    json.push_str(&format!(
+        "  \"full\": {},\n  \"runs\": {},\n  \"threads\": {threads},\n  \"hidden\": {hidden},\n  \"feat\": {feat},\n  \"rates\": {{\n",
+        args.full, args.runs
+    ));
+    for (ci, (config, _)) in rows.iter().enumerate() {
+        json.push_str(&format!("    \"{config}\": {{"));
+        let mut first = true;
+        for (rc, cell, s) in cells.iter().filter(|(rc, _, _)| *rc == ci) {
+            let _ = rc;
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            json.push_str(&format!(
+                "\n      \"{cell}\": {{\"rate\": {:.6}, \"std\": {:.6}}}",
+                s.mean, s.std
+            ));
+        }
+        json.push_str("\n    }");
+        if ci + 1 < rows.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  }\n}\n");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote table JSON to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
 }
 
 /// Parallel-executor workload: K independent RNN `While` branches in one
@@ -164,6 +223,19 @@ fn multi_branch_section(
         );
         match std::fs::write(path, json) {
             Ok(()) => eprintln!("wrote parallel bench results to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+
+    if let Some(path) = &args.report {
+        // one fully-instrumented pass: memory accounting, scheduler
+        // utilization and critical path for the multi-branch workload
+        sess_n.set_reporting(true);
+        sess_n.run(&feeds, &fetches).expect("reported run");
+        let report = sess_n.last_report().expect("reporting was enabled");
+        println!("\n{}", report.render_text());
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!("wrote run report to {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }

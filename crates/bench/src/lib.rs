@@ -88,7 +88,8 @@ pub fn rule(n: usize) {
 }
 
 /// Parse `--full` / `--runs N` / `--profile PATH` / `--threads N` /
-/// `--json PATH` style flags from `std::env::args`.
+/// `--json PATH` / `--json-table PATH` / `--report PATH` style flags
+/// from `std::env::args`.
 pub struct HarnessArgs {
     /// Use paper-scale workloads (slow) instead of laptop-scale defaults.
     pub full: bool,
@@ -103,6 +104,12 @@ pub struct HarnessArgs {
     pub threads: Option<usize>,
     /// Write machine-readable results as JSON to this path (`--json`).
     pub json: Option<String>,
+    /// Write the benchmark's main table as JSON to this path
+    /// (`--json-table`) — input for `autograph-report diff`.
+    pub json_table: Option<String>,
+    /// Run one reported session pass and write its `RunReport` JSON to
+    /// this path (`--report`).
+    pub report: Option<String>,
     /// Remaining positional arguments.
     pub rest: Vec<String>,
 }
@@ -115,6 +122,8 @@ impl HarnessArgs {
         let mut profile = None;
         let mut threads = None;
         let mut json = None;
+        let mut json_table = None;
+        let mut report = None;
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -126,6 +135,8 @@ impl HarnessArgs {
                 "--profile" => profile = args.next(),
                 "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
                 "--json" => json = args.next(),
+                "--json-table" => json_table = args.next(),
+                "--report" => report = args.next(),
                 other => rest.push(other.to_string()),
             }
         }
@@ -135,7 +146,9 @@ impl HarnessArgs {
             profile,
             threads,
             json,
+            json_table,
             rest,
+            report,
         }
     }
 

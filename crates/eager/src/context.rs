@@ -81,6 +81,20 @@ impl Eager {
         } else {
             None
         };
+        // per-op memory attribution: when both profiling and the tensor
+        // memory ledger are active, report this thread's allocation delta
+        // across the dispatch under the op's name
+        let alloc0 = if obs::enabled() && autograph_tensor::mem::tracking() {
+            Some(autograph_tensor::mem::thread_allocated())
+        } else {
+            None
+        };
+        let _mem_guard = alloc0.map(|before| {
+            scopeguard(move || {
+                let delta = autograph_tensor::mem::thread_allocated().wrapping_sub(before);
+                obs::observe_dyn("eager_mem", || name.to_string(), delta);
+            })
+        });
         let def = self
             .registry
             .get(name)
@@ -232,6 +246,22 @@ impl Eager {
     pub fn sigmoid(&self, a: &EagerTensor) -> Result<EagerTensor> {
         self.op("sigmoid", &[a])
     }
+}
+
+/// Runs `f` on drop — used so per-op memory attribution fires on every
+/// exit path of a dispatch, error returns included.
+struct DropGuard<F: FnOnce()>(Option<F>);
+
+impl<F: FnOnce()> Drop for DropGuard<F> {
+    fn drop(&mut self) {
+        if let Some(f) = self.0.take() {
+            f()
+        }
+    }
+}
+
+fn scopeguard<F: FnOnce()>(f: F) -> DropGuard<F> {
+    DropGuard(Some(f))
 }
 
 #[cfg(test)]

@@ -303,8 +303,11 @@ fn inject_slow(site: &str, op: &str, delay_only: bool) -> Result<(), FaultError>
         }
         match rule.kind {
             FaultKind::Delay => {
-                // short, bounded: perturbs interleavings without stalling
+                // short, bounded: perturbs interleavings without stalling.
+                // The sleep gets its own span category so injected delays
+                // are distinguishable from real work in traces.
                 let us = 20 + splitmix64(plan.seed ^ counter) % 180;
+                let _span = autograph_obs::span_dyn("fault_delay", || format!("{site}/{op}"));
                 std::thread::sleep(std::time::Duration::from_micros(us));
                 continue; // a delay doesn't consume the site
             }

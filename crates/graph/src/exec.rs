@@ -84,6 +84,11 @@ impl Plan {
         self.order.is_empty()
     }
 
+    /// The plan's node set in execution (topological) order.
+    pub(crate) fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
     /// Execute the plan, returning the values of `fetches`.
     ///
     /// # Errors
@@ -116,8 +121,23 @@ impl Plan {
         let mut inbuf: Vec<GValue> = Vec::with_capacity(8);
         for &id in &self.order {
             let node = &graph.nodes[id];
-            let v = eval_node_guarded(graph, id, &values, env, &mut inbuf, ctx)
-                .map_err(|e| e.at_node(node.name.clone()).at_span(node.span))?;
+            // per-node cost collection (reporting sessions only): time
+            // the evaluation and attribute this thread's allocations
+            let started = ctx.collector.as_ref().map(|_| {
+                (
+                    std::time::Instant::now(),
+                    autograph_tensor::mem::thread_allocated(),
+                )
+            });
+            let v = eval_node_guarded(graph, id, &values, env, &mut inbuf, ctx);
+            if let (Some(col), Some((t0, alloc0))) = (ctx.collector.as_ref(), started) {
+                col.record(
+                    id,
+                    t0.elapsed().as_nanos() as u64,
+                    autograph_tensor::mem::thread_allocated().wrapping_sub(alloc0),
+                );
+            }
+            let v = v.map_err(|e| e.at_node(node.name.clone()).at_span(node.span))?;
             values[id] = Some(v);
         }
         fetches

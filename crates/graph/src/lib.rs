@@ -15,6 +15,8 @@
 //!   nodes into the same graph (what enables in-graph SGD, Table 2);
 //! * [`optimize`] — whole-program graph optimizations: constant folding,
 //!   common-subexpression elimination, dead-code elimination;
+//! * [`report`] — per-run [`report::RunReport`]s: memory accounting,
+//!   scheduler utilization, and critical-path analysis;
 //! * [`shapes`] — static shape inference + staging-time validation (the
 //!   Appendix B future-work extension).
 //!
@@ -44,6 +46,7 @@ pub mod grad;
 pub mod ir;
 pub mod ops;
 pub mod optimize;
+pub mod report;
 pub mod run;
 pub(crate) mod sched;
 pub mod session;
@@ -52,6 +55,7 @@ pub mod shapes;
 pub use builder::GraphBuilder;
 pub use error::{ErrorKind, GraphError};
 pub use ir::{Graph, NodeId, OpKind, SubGraph};
+pub use report::{CriticalPath, MemReport, NodeCost, RunReport, SchedReport, WorkerReport};
 pub use run::{CancelToken, RunOptions};
 pub use session::Session;
 

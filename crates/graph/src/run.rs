@@ -113,6 +113,10 @@ pub(crate) struct RunCtx {
     pub nodes_executed: AtomicU64,
     /// Staged `While` iterations completed so far.
     pub while_iters: AtomicU64,
+    /// Per-node cost collector, present when the session has reporting
+    /// enabled. Only top-level plan nodes record into it (subgraph node
+    /// ids would collide; their cost folds into the owning node).
+    pub collector: Option<crate::report::Collector>,
 }
 
 impl RunCtx {
@@ -130,6 +134,7 @@ impl RunCtx {
             max_while_iters: opts.max_while_iters,
             nodes_executed: AtomicU64::new(0),
             while_iters: AtomicU64::new(0),
+            collector: None,
         }
     }
 

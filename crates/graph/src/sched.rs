@@ -115,19 +115,15 @@ fn graph_accesses(g: &Graph, acc: &mut HashMap<Resource, bool>) {
     }
 }
 
-/// Build scheduling metadata for `order` (a topologically sorted node
-/// subset of `graph` whose data inputs are all within the subset).
-pub(crate) fn wave_meta(graph: &Graph, order: Vec<NodeId>) -> WaveMeta {
-    if order.len() < WAVEFRONT_MIN_NODES {
-        return WaveMeta {
-            order,
-            ..WaveMeta::default()
-        };
-    }
+/// Build the execution DAG's adjacency for `order`: per-node consumer
+/// lists (data edges plus per-resource control edges) and pending-input
+/// counts. Shared by [`wave_meta`] and the critical-path analysis in
+/// [`crate::report`].
+pub(crate) fn edge_lists(graph: &Graph, order: &[NodeId]) -> (Vec<Vec<NodeId>>, Vec<u32>) {
     let n = graph.nodes.len();
     let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut pending = vec![0u32; n];
-    for &id in &order {
+    for &id in order {
         for &inp in &graph.nodes[id].inputs {
             consumers[inp].push(id);
             pending[id] += 1;
@@ -140,7 +136,7 @@ pub(crate) fn wave_meta(graph: &Graph, order: Vec<NodeId>) -> WaveMeta {
     }
     let mut chains: HashMap<Resource, Chain> = HashMap::new();
     let mut acc: HashMap<Resource, bool> = HashMap::new();
-    for &id in &order {
+    for &id in order {
         acc.clear();
         node_accesses(&graph.nodes[id].op, &mut acc);
         for (res, write) in acc.drain() {
@@ -171,6 +167,19 @@ pub(crate) fn wave_meta(graph: &Graph, order: Vec<NodeId>) -> WaveMeta {
             }
         }
     }
+    (consumers, pending)
+}
+
+/// Build scheduling metadata for `order` (a topologically sorted node
+/// subset of `graph` whose data inputs are all within the subset).
+pub(crate) fn wave_meta(graph: &Graph, order: Vec<NodeId>) -> WaveMeta {
+    if order.len() < WAVEFRONT_MIN_NODES {
+        return WaveMeta {
+            order,
+            ..WaveMeta::default()
+        };
+    }
+    let (consumers, pending) = edge_lists(graph, &order);
     let sources = order.iter().copied().filter(|&i| pending[i] == 0).collect();
     WaveMeta {
         order,
@@ -216,6 +225,11 @@ struct ParRun<'r> {
     live: AtomicUsize,
     failed: AtomicBool,
     err: Mutex<Option<GraphError>>,
+    /// Whether this run feeds the session's per-node cost collector.
+    /// True only for the top-level plan: subgraph runs reuse node ids
+    /// from their own (sub)graph, which would collide with the parent's,
+    /// and their cost already folds into the owning `While`/`Cond` node.
+    collect: bool,
 }
 
 impl<'r> ParRun<'r> {
@@ -224,6 +238,7 @@ impl<'r> ParRun<'r> {
         meta: &'r WaveMeta,
         args: &'r [GValue],
         ctx: &'r ParCtx<'r>,
+        collect: bool,
     ) -> ParRun<'r> {
         let n = graph.nodes.len();
         ParRun {
@@ -236,6 +251,7 @@ impl<'r> ParRun<'r> {
             live: AtomicUsize::new(0),
             failed: AtomicBool::new(false),
             err: Mutex::new(None),
+            collect,
         }
     }
 
@@ -348,6 +364,17 @@ impl<'r> ParRun<'r> {
         if self.failed.load(Ordering::Acquire) {
             return;
         }
+        let collector = if self.collect {
+            self.ctx.run.collector.as_ref()
+        } else {
+            None
+        };
+        let started = collector.map(|_| {
+            (
+                std::time::Instant::now(),
+                autograph_tensor::mem::thread_allocated(),
+            )
+        });
         match catch_unwind(AssertUnwindSafe(|| self.eval(id))) {
             Ok(Ok(v)) => {
                 let _ = self.slots[id].set(v);
@@ -364,6 +391,13 @@ impl<'r> ParRun<'r> {
                     .at_span(node.span),
                 );
             }
+        }
+        if let (Some(col), Some((t0, alloc0))) = (collector, started) {
+            col.record(
+                id,
+                t0.elapsed().as_nanos() as u64,
+                autograph_tensor::mem::thread_allocated().wrapping_sub(alloc0),
+            );
         }
     }
 
@@ -482,7 +516,7 @@ fn run_sub_with_meta(
             args.len()
         )));
     }
-    let run = ParRun::new(&sub.graph, meta, args, ctx);
+    let run = ParRun::new(&sub.graph, meta, args, ctx, false);
     run.execute();
     run.finish(&sub.outputs)
 }
@@ -556,7 +590,7 @@ pub(crate) fn run_plan_parallel(
         run: rctx,
     };
     let result = {
-        let run = ParRun::new(graph, meta, &[], &ctx);
+        let run = ParRun::new(graph, meta, &[], &ctx, true);
         run.execute();
         run.finish(fetches)
     };

@@ -18,6 +18,7 @@
 
 use crate::exec::{ExecEnv, Plan};
 use crate::ir::{GValue, Graph, NodeId};
+use crate::report::{self, RunReport};
 use crate::run::{RunCtx, RunOptions};
 use crate::Result;
 use autograph_obs as obs;
@@ -149,6 +150,11 @@ pub struct Session {
     plans: HashMap<Vec<NodeId>, Plan>,
     stats: Arc<SessionStatsShared>,
     threads: Option<usize>,
+    /// Whether runs collect a [`RunReport`] (memory accounting, scheduler
+    /// utilization, critical path). Off by default: the run path then
+    /// pays only an `Option` check per node.
+    reporting: bool,
+    last_report: Option<RunReport>,
 }
 
 impl Session {
@@ -162,6 +168,8 @@ impl Session {
             plans: HashMap::new(),
             stats: Arc::new(SessionStatsShared::default()),
             threads: None,
+            reporting: false,
+            last_report: None,
         }
     }
 
@@ -181,6 +189,27 @@ impl Session {
     /// The thread count the next `run` call will use.
     pub fn effective_threads(&self) -> usize {
         resolve_threads(self.threads)
+    }
+
+    /// Enable or disable per-run reporting. While enabled, every run
+    /// collects per-node self-times and allocation attribution, diffs
+    /// the process-wide tensor-memory ledger and worker-pool meters, and
+    /// stores the resulting [`RunReport`] (see [`Session::last_report`]).
+    /// Adds per-node timing overhead; leave off for peak throughput.
+    pub fn set_reporting(&mut self, on: bool) -> &mut Session {
+        self.reporting = on;
+        self
+    }
+
+    /// Whether per-run reporting is enabled.
+    pub fn reporting_enabled(&self) -> bool {
+        self.reporting
+    }
+
+    /// The report of the most recent run (successful or failed), if
+    /// reporting was enabled for it.
+    pub fn last_report(&self) -> Option<&RunReport> {
+        self.last_report.as_ref()
     }
 
     /// Plan-cache statistics accumulated over this session's runs
@@ -300,14 +329,21 @@ impl Session {
         // the run-level span closes on every exit path (drop guard), so
         // Chrome traces of failed runs stay well-formed
         let _run_span = obs::span("session", "run");
-        let ctx = RunCtx::from_options(&options.clone().resolved());
-        let result = plan.run_threads_ctx(
-            &self.graph,
-            &mut env,
-            fetches,
-            resolve_threads(self.threads),
-            &ctx,
-        );
+        let threads = resolve_threads(self.threads);
+        let mut ctx = RunCtx::from_options(&options.clone().resolved());
+        // reporting: turn on the process-wide meters for the duration of
+        // the run and snapshot them on both sides
+        let before = if self.reporting {
+            ctx.collector = Some(report::Collector::new(self.graph.nodes.len()));
+            autograph_tensor::mem::track_begin();
+            par::meter_begin();
+            autograph_tensor::mem::reset_peak();
+            Some((autograph_tensor::mem::snapshot(), par::pool_snapshot()))
+        } else {
+            None
+        };
+        let t0 = std::time::Instant::now();
+        let result = plan.run_threads_ctx(&self.graph, &mut env, fetches, threads, &ctx);
         // fold progress into the session counters on success AND failure:
         // stats after a failed run reflect the work done before the error
         self.stats.nodes_executed.fetch_add(
@@ -317,6 +353,43 @@ impl Session {
         self.stats
             .while_iters
             .fetch_add(ctx.while_iters.load(Ordering::Relaxed), Ordering::Relaxed);
+        if let (Some((mem0, pool0)), Some(collector)) = (before, ctx.collector.as_ref()) {
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            let mem1 = autograph_tensor::mem::snapshot();
+            let pool1 = par::pool_snapshot();
+            par::meter_end();
+            autograph_tensor::mem::track_end();
+            let run_report = report::build(report::ReportInputs {
+                graph: &self.graph,
+                order: plan.order(),
+                collector,
+                wall_ns,
+                threads,
+                succeeded: result.is_ok(),
+                error: result.as_ref().err().map(|e| e.to_string()),
+                nodes_executed: ctx.nodes_executed.load(Ordering::Relaxed),
+                while_iters: ctx.while_iters.load(Ordering::Relaxed),
+                mem_before: mem0,
+                mem_after: mem1,
+                pool_before: pool0,
+                pool_after: pool1,
+            });
+            if obs::enabled() {
+                obs::gauge("mem", "run_peak_bytes", run_report.mem.peak_bytes);
+                obs::gauge("mem", "run_live_bytes", run_report.mem.live_bytes_end);
+                obs::gauge("mem", "run_allocated_bytes", run_report.mem.allocated_bytes);
+                obs::gauge(
+                    "sched",
+                    "utilization_permille",
+                    (run_report.sched.utilization * 1000.0).round() as u64,
+                );
+                obs::gauge("sched", "queue_depth_max", run_report.sched.queue_depth_max);
+                for w in &run_report.sched.workers {
+                    obs::gauge_dyn("sched", || format!("busy_ns[{}]", w.label), w.busy_ns);
+                }
+            }
+            self.last_report = Some(run_report);
+        }
         result
     }
 }

@@ -25,6 +25,7 @@ struct TraceState {
     events: Vec<TraceEvent>,
     dropped: u64,
     counters: Vec<(u64, &'static str, String, u64)>, // (ts, cat, name, running total)
+    gauges: Vec<(u64, &'static str, String, u64)>,   // (ts, cat, name, absolute value)
     totals: std::collections::HashMap<String, u64>,
 }
 
@@ -87,7 +88,7 @@ impl TraceRecorder {
                 e.dur_ns as f64 / 1e3,
             ));
         }
-        for (ts_ns, cat, name, total) in &state.counters {
+        for (ts_ns, cat, name, value) in state.counters.iter().chain(state.gauges.iter()) {
             if !first {
                 out.push(',');
             }
@@ -97,7 +98,7 @@ impl TraceRecorder {
                 json_string(name),
                 json_string(cat),
                 *ts_ns as f64 / 1e3,
-                total,
+                value,
             ));
         }
         out.push_str("],\"otherData\":{\"droppedEvents\":");
@@ -146,12 +147,24 @@ impl Recorder for TraceRecorder {
         }
     }
 
-    fn observe(&self, _cat: &'static str, _name: &'static str, _value: u64) {
+    fn observe(&self, _cat: &'static str, _name: &str, _value: u64) {
         // distributions are an aggregate concern; traces keep spans only
+    }
+
+    fn gauge(&self, cat: &'static str, name: &str, value: u64) {
+        let ts = crate::now_ns();
+        let mut state = self.state.lock().expect("obs trace lock");
+        if state.gauges.len() < self.max_events {
+            state.gauges.push((ts, cat, name.to_string(), value));
+        }
     }
 }
 
-/// Escape `s` as a JSON string literal (with quotes).
+/// Escape `s` as a JSON string literal (with quotes). Span names come
+/// from user PyLite source (op names, print payloads), so every control
+/// character, quote and backslash must survive: C0 controls and DEL get
+/// `\uXXXX`, and U+2028/U+2029 are escaped too so the output stays safe
+/// to embed in JavaScript-adjacent tooling.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -162,7 +175,9 @@ fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 || c as u32 == 0x7f || c == '\u{2028}' || c == '\u{2029}' => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
             c => out.push(c),
         }
     }
@@ -191,6 +206,37 @@ mod tests {
         assert_eq!(events[2]["ph"].as_str(), Some("C"));
         assert_eq!(events[2]["args"]["value"].as_u64(), Some(1));
         assert_eq!(doc["otherData"]["droppedEvents"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn dynamic_span_names_round_trip_through_serde_json() {
+        // every C0 control char, DEL, quote/backslash combos, and the
+        // JS line separators — the worst a user-derived op name can be
+        let mut nasty = String::from("op \"x\\y\" \\\" \u{7f}\u{2028}\u{2029}");
+        for b in 0u32..0x20 {
+            nasty.push(char::from_u32(b).expect("C0 char"));
+        }
+        let t = TraceRecorder::new();
+        t.span("graph_op", &nasty, 0, 1);
+        t.gauge("mem", &nasty, 42);
+        let doc = serde_json::from_str(&t.to_json()).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["name"].as_str(), Some(nasty.as_str()));
+        assert_eq!(events[1]["name"].as_str(), Some(nasty.as_str()));
+        assert_eq!(events[1]["ph"].as_str(), Some("C"));
+        assert_eq!(events[1]["args"]["value"].as_u64(), Some(42));
+    }
+
+    #[test]
+    fn gauges_are_absolute_not_accumulating() {
+        let t = TraceRecorder::new();
+        t.gauge("sched", "queue_depth", 5);
+        t.gauge("sched", "queue_depth", 3);
+        let doc = serde_json::from_str(&t.to_json()).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events[0]["args"]["value"].as_u64(), Some(5));
+        assert_eq!(events[1]["args"]["value"].as_u64(), Some(3));
     }
 
     #[test]

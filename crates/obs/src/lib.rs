@@ -162,6 +162,39 @@ pub fn observe(cat: &'static str, name: &'static str, value: u64) {
     with_recorder(|r| r.observe(cat, name, value));
 }
 
+/// Record one observation under a runtime-constructed name. The name is
+/// only built when a recorder is installed.
+#[inline]
+pub fn observe_dyn(cat: &'static str, name: impl FnOnce() -> String, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let name = name();
+    with_recorder(|r| r.observe(cat, &name, value));
+}
+
+/// Record an instantaneous level sample (live bytes, queue depth,
+/// utilization). Gauges are absolute values, not accumulating counters;
+/// the trace exporter renders them as Chrome counter lanes.
+#[inline]
+pub fn gauge(cat: &'static str, name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.gauge(cat, name, value));
+}
+
+/// [`gauge`] with a runtime-constructed name (e.g. a per-worker lane
+/// label). The name is only built when a recorder is installed.
+#[inline]
+pub fn gauge_dyn(cat: &'static str, name: impl FnOnce() -> String, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let name = name();
+    with_recorder(|r| r.gauge(cat, &name, value));
+}
+
 /// Offer a `print`-op line to the recorder. Returns `true` if the
 /// recorder captured it (the caller must then *not* write it to
 /// stdout), `false` when it should go to stdout as usual.

@@ -107,13 +107,32 @@ impl Histogram {
         }
     }
 
-    /// Estimate the `q`-quantile (`q` in `[0, 1]`), clamped to the
-    /// observed `[min, max]`. Within 12.5% of the exact answer.
+    /// Estimate the `q`-quantile.
+    ///
+    /// Contract (all cases defined, no bucket-boundary surprises):
+    ///
+    /// * empty histogram → `0` for every `q`;
+    /// * `q <= 0.0` → the exact [`min`](Histogram::min);
+    /// * `q >= 1.0` → the exact [`max`](Histogram::max);
+    /// * a single recorded sample → that exact value for every `q`;
+    /// * otherwise the bucket-representative answer, clamped to the
+    ///   observed `[min, max]`, within the 12.5% bucket error.
+    ///
+    /// `q` values outside `[0, 1]` (including NaN) are clamped; NaN
+    /// behaves as `q = 0.0`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        // NaN fails both comparisons below and falls through to min.
+        if q >= 1.0 {
+            return self.max;
+        }
+        if q.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || self.count == 1 {
+            // q <= 0 (or NaN): exact minimum. A single sample has
+            // min == max == the sample, so it is exact for any q too.
+            return self.min;
+        }
         // rank of the target observation, 1-based
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -151,6 +170,8 @@ pub struct Summary {
     pub rows: Vec<SummaryRow>,
     /// Counter values by `category/name`.
     pub counters: Vec<(String, u64)>,
+    /// Gauge `(last, max)` samples by `category/name`.
+    pub gauges: Vec<(String, u64, u64)>,
 }
 
 impl Summary {
@@ -165,6 +186,14 @@ impl Summary {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| *v)
+    }
+
+    /// Find a gauge by its `category/name` key; returns `(last, max)`.
+    pub fn gauge(&self, key: &str) -> Option<(u64, u64)> {
+        self.gauges
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, last, max)| (*last, *max))
     }
 
     /// Render the human-readable table (count / total / mean / p99 per
@@ -196,6 +225,15 @@ impl Summary {
                 out.push_str(&format!("{k:<40} {v:>10}\n"));
             }
         }
+        if !self.gauges.is_empty() {
+            out.push('\n');
+            out.push_str(&format!("{:<40} {:>12} {:>12}\n", "gauge", "last", "max"));
+            out.push_str(&"-".repeat(66));
+            out.push('\n');
+            for (k, last, max) in &self.gauges {
+                out.push_str(&format!("{k:<40} {last:>12} {max:>12}\n"));
+            }
+        }
         out
     }
 }
@@ -217,6 +255,8 @@ fn fmt_ns(ns: f64) -> String {
 struct AggregateState {
     hists: HashMap<String, Histogram>,
     counters: HashMap<String, u64>,
+    /// Gauges keep `(last sample, max sample)` per key.
+    gauges: HashMap<String, (u64, u64)>,
     prints: Vec<String>,
 }
 
@@ -280,7 +320,17 @@ impl AggregateRecorder {
             .map(|(k, v)| (k.clone(), *v))
             .collect();
         counters.sort();
-        Summary { rows, counters }
+        let mut gauges: Vec<(String, u64, u64)> = state
+            .gauges
+            .iter()
+            .map(|(k, (last, max))| (k.clone(), *last, *max))
+            .collect();
+        gauges.sort();
+        Summary {
+            rows,
+            counters,
+            gauges,
+        }
     }
 }
 
@@ -303,13 +353,23 @@ impl Recorder for AggregateRecorder {
         *c = c.saturating_add(delta);
     }
 
-    fn observe(&self, cat: &'static str, name: &'static str, value: u64) {
+    fn observe(&self, cat: &'static str, name: &str, value: u64) {
         let mut state = self.state.lock().expect("obs aggregate lock");
         state
             .hists
             .entry(format!("{cat}/{name}"))
             .or_default()
             .record(value);
+    }
+
+    fn gauge(&self, cat: &'static str, name: &str, value: u64) {
+        let mut state = self.state.lock().expect("obs aggregate lock");
+        let g = state
+            .gauges
+            .entry(format!("{cat}/{name}"))
+            .or_insert((0, 0));
+        g.0 = value;
+        g.1 = g.1.max(value);
     }
 
     fn print_line(&self, line: &str) -> bool {
@@ -372,6 +432,45 @@ mod tests {
         // clamped into [min, max]
         assert_eq!(h.quantile(0.99), 1_000);
         assert_eq!(h.quantile(0.01), 1_000);
+    }
+
+    #[test]
+    fn quantile_contract_edge_cases() {
+        // empty: 0 for every q
+        let h = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        // single sample: the exact value for every q, even when the
+        // value would round to a bucket representative (1000 → 1056)
+        let mut h = Histogram::new();
+        h.record(1_000);
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 1_000, "q={q}");
+        }
+        // q=0.0 / q=1.0 are the exact min/max, not bucket boundaries
+        let mut h = Histogram::new();
+        for v in [17u64, 1_000, 123_456] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 17);
+        assert_eq!(h.quantile(1.0), 123_456);
+        assert_eq!(h.quantile(-0.5), 17);
+        assert_eq!(h.quantile(1.5), 123_456);
+        assert_eq!(h.quantile(f64::NAN), 17);
+    }
+
+    #[test]
+    fn gauges_track_last_and_max() {
+        let r = AggregateRecorder::new();
+        r.gauge("mem", "live_bytes", 100);
+        r.gauge("mem", "live_bytes", 700);
+        r.gauge("mem", "live_bytes", 300);
+        let s = r.summary();
+        assert_eq!(s.gauge("mem/live_bytes"), Some((300, 700)));
+        let table = s.render_table();
+        assert!(table.contains("mem/live_bytes"), "{table}");
+        assert!(table.contains("gauge"), "{table}");
     }
 
     #[test]

@@ -11,7 +11,14 @@ pub trait Recorder: Send + Sync {
     fn count(&self, cat: &'static str, name: &'static str, delta: u64);
 
     /// One observation of the distribution `cat/name`.
-    fn observe(&self, cat: &'static str, name: &'static str, value: u64);
+    fn observe(&self, cat: &'static str, name: &str, value: u64);
+
+    /// An instantaneous level sample: `cat/name` is `value` *right now*
+    /// (live bytes, queue depth, utilization‰). Unlike [`count`], a
+    /// gauge is absolute, not accumulating. The default sink ignores it.
+    ///
+    /// [`count`]: Recorder::count
+    fn gauge(&self, _cat: &'static str, _name: &str, _value: u64) {}
 
     /// Offer a `print`-op line. Return `true` to capture it (suppressing
     /// the default stdout write). The default sink captures nothing.
@@ -52,7 +59,7 @@ impl Recorder for StreamingRecorder {
 
     fn count(&self, _cat: &'static str, _name: &'static str, _delta: u64) {}
 
-    fn observe(&self, _cat: &'static str, _name: &'static str, _value: u64) {}
+    fn observe(&self, _cat: &'static str, _name: &str, _value: u64) {}
 }
 
 /// Forwards every event to each inner recorder. A print line counts as
@@ -81,9 +88,15 @@ impl Recorder for FanoutRecorder {
         }
     }
 
-    fn observe(&self, cat: &'static str, name: &'static str, value: u64) {
+    fn observe(&self, cat: &'static str, name: &str, value: u64) {
         for r in &self.inner {
             r.observe(cat, name, value);
+        }
+    }
+
+    fn gauge(&self, cat: &'static str, name: &str, value: u64) {
+        for r in &self.inner {
+            r.gauge(cat, name, value);
         }
     }
 

@@ -1,0 +1,483 @@
+//! Diff engine for AutoGraph's machine-readable performance artifacts:
+//! `RunReport` JSON (from `Session::last_report`) and the bench binaries'
+//! `--json` outputs.
+//!
+//! [`diff`] walks two JSON documents in parallel and classifies every
+//! numeric/boolean leaf by a *direction heuristic* on its key path:
+//!
+//! * **lower is better** — durations (`*_ns`, `*_ms`, `seconds*`,
+//!   `*_time`) and memory (`*bytes*`, `allocs`, `frees`);
+//! * **higher is better** — `*rate*`, `*speedup*`, `*utilization*`,
+//!   `*throughput*`, `*per_sec*`, `*hits*`;
+//! * **must hold** — booleans that were `true` in the baseline (e.g.
+//!   `bitwise_identical`, `succeeded`);
+//! * everything else is **informational**: config echoes (`threads`,
+//!   `batch`), identifiers, and volatile subtrees (`workers`,
+//!   `node_costs`, `critical_path`, `error`) never gate.
+//!
+//! A gated metric regresses when it moves in the bad direction by more
+//! than `max(rel × baseline, abs)` — the caller picks the tolerance
+//! (CI uses a deliberately wide one; shared single-CPU runners are
+//! noisy). A metric present in the baseline but missing from the
+//! current file is always a regression: silently dropping a metric must
+//! not pass the gate.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// How a metric's value relates to "better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller values are better (times, bytes).
+    LowerIsBetter,
+    /// Larger values are better (rates, speedups).
+    HigherIsBetter,
+    /// A boolean that must stay `true` once the baseline had it `true`.
+    MustHold,
+    /// Not gated; changes are reported but never fail.
+    Informational,
+}
+
+/// Path subtrees that are never gated: per-worker breakdowns and node
+/// tables vary run to run by construction, and `error` is prose.
+const INFORMATIONAL_SUBTREES: &[&str] = &["workers", "node_costs", "critical_path", "error"];
+
+/// Classify a dotted key path (e.g. `mem.peak_bytes`,
+/// `sched.workers[0].busy_ns`).
+pub fn direction_for(path: &str) -> Direction {
+    let lower = path.to_ascii_lowercase();
+    for sub in INFORMATIONAL_SUBTREES {
+        if lower.contains(sub) {
+            return Direction::Informational;
+        }
+    }
+    let leaf = lower
+        .rsplit('.')
+        .next()
+        .unwrap_or(&lower)
+        .trim_end_matches(|c: char| c == ']' || c.is_ascii_digit() || c == '[');
+    const HIGHER: &[&str] = &[
+        "rate",
+        "speedup",
+        "utilization",
+        "throughput",
+        "per_sec",
+        "hits",
+    ];
+    if HIGHER.iter().any(|k| leaf.contains(k)) {
+        return Direction::HigherIsBetter;
+    }
+    const LOWER_EXACT: &[&str] = &["allocs", "frees"];
+    const LOWER: &[&str] = &["_ns", "_ms", "seconds", "bytes", "_time", "misses"];
+    if LOWER_EXACT.contains(&leaf)
+        || LOWER.iter().any(|k| leaf.contains(k))
+        || leaf == "ns"
+        || leaf == "ms"
+    {
+        return Direction::LowerIsBetter;
+    }
+    Direction::Informational
+}
+
+/// Relative + absolute slack for gated metrics: a change is within
+/// tolerance when `|delta| <= max(rel * |baseline|, abs)`.
+#[derive(Debug, Clone)]
+pub struct Tolerance {
+    /// Relative slack as a fraction (0.25 = 25%).
+    pub rel: f64,
+    /// Absolute slack in the metric's own unit.
+    pub abs: f64,
+    /// Per-metric overrides: the first entry whose key is a substring of
+    /// the metric path wins (relative fraction).
+    pub overrides: Vec<(String, f64)>,
+}
+
+impl Default for Tolerance {
+    fn default() -> Tolerance {
+        Tolerance {
+            rel: 0.25,
+            abs: 0.0,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl Tolerance {
+    fn rel_for(&self, path: &str) -> f64 {
+        self.overrides
+            .iter()
+            .find(|(k, _)| path.contains(k.as_str()))
+            .map(|(_, v)| *v)
+            .unwrap_or(self.rel)
+    }
+}
+
+/// What happened to one leaf metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Worsened beyond tolerance in a gated direction.
+    Regression,
+    /// Improved beyond tolerance (never fails the gate).
+    Improvement,
+    /// Changed, but the metric is informational or within tolerance.
+    Info,
+    /// Present in the baseline, absent in the current file.
+    Missing,
+}
+
+/// One compared leaf.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Dotted path into the document.
+    pub path: String,
+    /// Baseline value (None when the leaf is new).
+    pub baseline: Option<f64>,
+    /// Current value (None when the leaf disappeared).
+    pub current: Option<f64>,
+    /// Signed relative change (`(current - baseline) / |baseline|`).
+    pub change: f64,
+    /// Classification under the direction heuristic and tolerance.
+    pub kind: FindingKind,
+    /// The direction the metric was judged under.
+    pub direction: Direction,
+}
+
+impl Finding {
+    /// One-line rendering for terminal output.
+    pub fn render(&self) -> String {
+        let tag = match self.kind {
+            FindingKind::Regression => "REGRESSION",
+            FindingKind::Improvement => "improved",
+            FindingKind::Info => "info",
+            FindingKind::Missing => "MISSING",
+        };
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) => format!(
+                "{tag:<10} {:<44} {b:.6} -> {c:.6} ({:+.1}%)",
+                self.path,
+                self.change * 100.0
+            ),
+            (Some(b), None) => format!("{tag:<10} {:<44} {b:.6} -> (absent)", self.path),
+            (None, Some(c)) => format!("{tag:<10} {:<44} (new) -> {c:.6}", self.path),
+            (None, None) => format!("{tag:<10} {}", self.path),
+        }
+    }
+}
+
+/// The outcome of a [`diff`].
+#[derive(Debug, Clone, Default)]
+pub struct DiffResult {
+    /// Every compared leaf that changed (plus regressions/missing).
+    pub findings: Vec<Finding>,
+    /// Leaves compared in total (changed or not).
+    pub compared: usize,
+}
+
+impl DiffResult {
+    /// Findings that fail the gate.
+    pub fn regressions(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f.kind, FindingKind::Regression | FindingKind::Missing))
+    }
+
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+}
+
+/// Compare `current` against `baseline` under `tol`.
+pub fn diff(baseline: &Value, current: &Value, tol: &Tolerance) -> DiffResult {
+    let mut out = DiffResult::default();
+    walk(baseline, Some(current), String::new(), tol, &mut out);
+    out
+}
+
+fn walk(base: &Value, cur: Option<&Value>, path: String, tol: &Tolerance, out: &mut DiffResult) {
+    match base {
+        Value::Object(bmap) => {
+            let empty = BTreeMap::new();
+            let cmap = match cur {
+                Some(Value::Object(m)) => m,
+                _ => &empty,
+            };
+            for (k, bv) in bmap {
+                let child = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(bv, cmap.get(k), child, tol, out);
+            }
+        }
+        Value::Array(barr) => {
+            let carr = match cur {
+                Some(Value::Array(a)) => a.as_slice(),
+                _ => &[],
+            };
+            for (i, bv) in barr.iter().enumerate() {
+                walk(bv, carr.get(i), format!("{path}[{i}]"), tol, out);
+            }
+        }
+        Value::Number(b) => leaf_number(*b, cur, path, tol, out),
+        Value::Bool(b) => leaf_bool(*b, cur, path, out),
+        // strings and nulls never gate; only report disappearance of the
+        // whole subtree via their parent (numbers/bools)
+        Value::String(_) | Value::Null => {}
+    }
+}
+
+fn leaf_number(b: f64, cur: Option<&Value>, path: String, tol: &Tolerance, out: &mut DiffResult) {
+    let direction = direction_for(&path);
+    let c = match cur.and_then(Value::as_f64) {
+        Some(c) => c,
+        None => {
+            out.findings.push(Finding {
+                kind: if direction == Direction::Informational {
+                    FindingKind::Info
+                } else {
+                    FindingKind::Missing
+                },
+                path,
+                baseline: Some(b),
+                current: None,
+                change: -1.0,
+                direction,
+            });
+            return;
+        }
+    };
+    out.compared += 1;
+    let delta = c - b;
+    let change = if b.abs() > f64::EPSILON {
+        delta / b.abs()
+    } else if delta.abs() > f64::EPSILON {
+        1.0
+    } else {
+        0.0
+    };
+    let slack = (tol.rel_for(&path) * b.abs()).max(tol.abs);
+    let kind = match direction {
+        Direction::Informational => {
+            if delta.abs() > f64::EPSILON {
+                FindingKind::Info
+            } else {
+                return;
+            }
+        }
+        Direction::LowerIsBetter if delta > slack => FindingKind::Regression,
+        Direction::HigherIsBetter if -delta > slack => FindingKind::Regression,
+        Direction::LowerIsBetter if -delta > slack => FindingKind::Improvement,
+        Direction::HigherIsBetter if delta > slack => FindingKind::Improvement,
+        _ => {
+            if delta.abs() > f64::EPSILON {
+                FindingKind::Info
+            } else {
+                return;
+            }
+        }
+    };
+    out.findings.push(Finding {
+        path,
+        baseline: Some(b),
+        current: Some(c),
+        change,
+        kind,
+        direction,
+    });
+}
+
+fn leaf_bool(b: bool, cur: Option<&Value>, path: String, out: &mut DiffResult) {
+    // booleans that were true must stay true (bitwise_identical,
+    // succeeded); false baselines never gate. Only the volatile
+    // subtrees are exempt — the key-name heuristic is for numbers.
+    let lower = path.to_ascii_lowercase();
+    if INFORMATIONAL_SUBTREES.iter().any(|s| lower.contains(s)) {
+        return;
+    }
+    let c = cur.and_then(Value::as_bool);
+    out.compared += 1;
+    let kind = match (b, c) {
+        (true, Some(true)) | (false, Some(false)) => return,
+        (true, Some(false)) => FindingKind::Regression,
+        (false, Some(true)) => FindingKind::Improvement,
+        (true, None) => FindingKind::Missing,
+        (false, None) => FindingKind::Info,
+    };
+    out.findings.push(Finding {
+        path,
+        baseline: Some(if b { 1.0 } else { 0.0 }),
+        current: c.map(|v| if v { 1.0 } else { 0.0 }),
+        change: 0.0,
+        kind,
+        direction: Direction::MustHold,
+    });
+}
+
+/// Generic pretty-printer for a JSON document (used by
+/// `autograph-report print` for non-RunReport files).
+pub fn render_tree(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Object(map) => {
+            for (k, val) in map {
+                match val {
+                    Value::Object(_) | Value::Array(_) => {
+                        out.push_str(&format!("{pad}{k}:\n"));
+                        render_tree(val, indent + 1, out);
+                    }
+                    _ => out.push_str(&format!("{pad}{k}: {}\n", scalar(val))),
+                }
+            }
+        }
+        Value::Array(items) => {
+            for (i, val) in items.iter().enumerate() {
+                match val {
+                    Value::Object(_) | Value::Array(_) => {
+                        out.push_str(&format!("{pad}[{i}]:\n"));
+                        render_tree(val, indent + 1, out);
+                    }
+                    _ => out.push_str(&format!("{pad}[{i}]: {}\n", scalar(val))),
+                }
+            }
+        }
+        _ => out.push_str(&format!("{pad}{}\n", scalar(v))),
+    }
+}
+
+fn scalar(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n:.6}")
+            }
+        }
+        Value::String(s) => s.clone(),
+        _ => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        serde_json::from_str(s).expect("test JSON parses")
+    }
+
+    #[test]
+    fn direction_heuristics() {
+        assert_eq!(direction_for("mem.peak_bytes"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("wall_ns"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("seconds_threads_1"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("speedup"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction_for("sched.utilization"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("configs.Eager.seq16_batch2.rate"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction_for("threads"), Direction::Informational);
+        assert_eq!(
+            direction_for("sched.workers[0].busy_ns"),
+            Direction::Informational,
+            "per-worker breakdown never gates"
+        );
+        assert_eq!(
+            direction_for("critical_path.path_ns"),
+            Direction::Informational
+        );
+    }
+
+    #[test]
+    fn self_diff_has_zero_regressions() {
+        let doc = v(
+            r#"{"wall_ns": 123456, "speedup": 1.8, "mem": {"peak_bytes": 4096},
+                        "bitwise_identical": true, "threads": 4}"#,
+        );
+        let r = diff(&doc, &doc, &Tolerance::default());
+        assert!(r.passed());
+        assert_eq!(r.regressions().count(), 0);
+        assert!(r.compared >= 4);
+    }
+
+    #[test]
+    fn slower_time_and_lower_speedup_regress() {
+        let base = v(r#"{"seconds_threads_1": 1.0, "speedup": 2.0}"#);
+        let cur = v(r#"{"seconds_threads_1": 1.6, "speedup": 1.2}"#);
+        let r = diff(&base, &cur, &Tolerance::default());
+        assert_eq!(r.regressions().count(), 2, "{:#?}", r.findings);
+        // within a wide tolerance the same change passes
+        let wide = Tolerance {
+            rel: 0.75,
+            ..Tolerance::default()
+        };
+        assert!(diff(&base, &cur, &wide).passed());
+    }
+
+    #[test]
+    fn improvements_and_info_do_not_fail() {
+        let base = v(r#"{"wall_ns": 1000, "speedup": 1.0, "threads": 2}"#);
+        let cur = v(r#"{"wall_ns": 400, "speedup": 3.0, "threads": 8}"#);
+        let r = diff(&base, &cur, &Tolerance::default());
+        assert!(r.passed());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::Improvement));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.path == "threads" && f.kind == FindingKind::Info));
+    }
+
+    #[test]
+    fn missing_metric_fails_gate() {
+        let base = v(r#"{"mem": {"peak_bytes": 4096}}"#);
+        let cur = v(r#"{"mem": {}}"#);
+        let r = diff(&base, &cur, &Tolerance::default());
+        assert!(!r.passed());
+        assert!(matches!(r.findings[0].kind, FindingKind::Missing));
+    }
+
+    #[test]
+    fn bool_must_hold() {
+        let base = v(r#"{"bitwise_identical": true}"#);
+        let cur = v(r#"{"bitwise_identical": false}"#);
+        assert!(!diff(&base, &cur, &Tolerance::default()).passed());
+    }
+
+    #[test]
+    fn per_metric_override_wins() {
+        let base = v(r#"{"speedup": 2.0, "wall_ns": 1000}"#);
+        let cur = v(r#"{"speedup": 1.3, "wall_ns": 1300}"#);
+        // default 25% would fail both; override speedup to 50% and
+        // wall_ns to 40%
+        let tol = Tolerance {
+            rel: 0.25,
+            abs: 0.0,
+            overrides: vec![("speedup".to_string(), 0.5), ("wall_ns".to_string(), 0.4)],
+        };
+        assert!(diff(&base, &cur, &tol).passed(), "overrides widen the gate");
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let base = v(r#"{"wall_ns": 0}"#);
+        let cur = v(r#"{"wall_ns": 50}"#);
+        let tol = Tolerance {
+            abs: 100.0,
+            ..Tolerance::default()
+        };
+        assert!(diff(&base, &cur, &tol).passed(), "within absolute slack");
+        let tight = Tolerance::default();
+        assert!(!diff(&base, &cur, &tight).passed());
+    }
+}

@@ -1,0 +1,118 @@
+//! `autograph-report`: pretty-print and diff AutoGraph performance
+//! artifacts (RunReport JSON and bench `--json` outputs).
+//!
+//! ```text
+//! autograph-report print FILE
+//! autograph-report diff BASELINE CURRENT [--tol-pct P] [--abs A] [--tol KEY=PCT]...
+//! ```
+//!
+//! `diff` exits 0 when no gated metric regressed, 1 on regression, 2 on
+//! usage/IO/parse errors — so it can gate CI directly. Tolerances:
+//! `--tol-pct` sets the global relative slack in percent (default 25),
+//! `--abs` an absolute slack in the metric's unit, and repeated
+//! `--tol KEY=PCT` widens individual metrics (substring match on the
+//! dotted path).
+
+use autograph_report::{diff, render_tree, FindingKind, Tolerance};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("print") => cmd_print(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  autograph-report print FILE\n  autograph-report diff BASELINE CURRENT [--tol-pct P] [--abs A] [--tol KEY=PCT]..."
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_print(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: autograph-report print FILE");
+        return ExitCode::from(2);
+    };
+    match load(path) {
+        Ok(doc) => {
+            let mut out = String::new();
+            render_tree(&doc, 0, &mut out);
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol-pct" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) => tol.rel = p / 100.0,
+                None => return usage_diff("--tol-pct needs a number"),
+            },
+            "--abs" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => tol.abs = v,
+                None => return usage_diff("--abs needs a number"),
+            },
+            "--tol" => match it.next().and_then(|v| {
+                let (k, p) = v.split_once('=')?;
+                Some((k.to_string(), p.parse::<f64>().ok()? / 100.0))
+            }) {
+                Some(kv) => tol.overrides.push(kv),
+                None => return usage_diff("--tol needs KEY=PCT"),
+            },
+            _ if a.starts_with("--") => return usage_diff(&format!("unknown flag {a}")),
+            _ => paths.push(a),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage_diff("need exactly BASELINE and CURRENT");
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = diff(&baseline, &current, &tol);
+    println!(
+        "diff {baseline_path} -> {current_path} ({} metrics compared, rel tol {:.0}%)",
+        result.compared,
+        tol.rel * 100.0
+    );
+    for f in &result.findings {
+        // regressions and improvements always print; info only when
+        // something actually moved
+        if !matches!(f.kind, FindingKind::Info) || f.change.abs() > 1e-12 {
+            println!("  {}", f.render());
+        }
+    }
+    let regressions = result.regressions().count();
+    if regressions > 0 {
+        println!("FAIL: {regressions} regression(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("OK: no regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_diff(msg: &str) -> ExitCode {
+    eprintln!("autograph-report diff: {msg}");
+    ExitCode::from(2)
+}

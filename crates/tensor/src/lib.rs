@@ -24,6 +24,7 @@ pub mod dtype;
 pub mod error;
 pub mod index;
 pub mod linalg;
+pub mod mem;
 pub mod nn;
 pub mod ops;
 pub mod random;

@@ -38,6 +38,53 @@ impl Data {
             Data::Bool(_) => DType::Bool,
         }
     }
+
+    /// Payload size in bytes (element size × length).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Data::F32(v) => v.len() * std::mem::size_of::<f32>(),
+            Data::I64(v) => v.len() * std::mem::size_of::<i64>(),
+            Data::Bool(v) => v.len(),
+        }
+    }
+}
+
+/// Reference-counted element storage with allocation accounting.
+///
+/// `counted_bytes` is nonzero iff [`crate::mem::tracking`] was on when
+/// the buffer was created; only counted buffers decrement the ledger on
+/// drop, which keeps `allocated − freed == live` exact across tracking
+/// toggles (see `crate::mem`).
+#[derive(Debug)]
+pub(crate) struct Storage {
+    data: Data,
+    counted_bytes: u64,
+}
+
+impl Storage {
+    fn new(data: Data) -> Storage {
+        let counted_bytes = if crate::mem::tracking() {
+            let bytes = data.byte_len() as u64;
+            if bytes > 0 {
+                crate::mem::on_alloc(bytes);
+            }
+            bytes
+        } else {
+            0
+        };
+        Storage {
+            data,
+            counted_bytes,
+        }
+    }
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        if self.counted_bytes > 0 {
+            crate::mem::on_free(self.counted_bytes);
+        }
+    }
 }
 
 /// A dense, row-major, reference-counted n-dimensional array.
@@ -53,21 +100,40 @@ pub struct Tensor {
 #[derive(Debug)]
 struct TensorInner {
     shape: Shape,
-    data: Arc<Data>,
+    data: Arc<Storage>,
 }
 
 impl PartialEq for Tensor {
     fn eq(&self, other: &Self) -> bool {
-        self.inner.shape == other.inner.shape && *self.inner.data == *other.inner.data
+        self.inner.shape == other.inner.shape && self.inner.data.data == other.inner.data.data
     }
 }
 
 impl Tensor {
+    /// The single funnel through which every new storage buffer is
+    /// created — memory accounting hooks live here.
     #[inline]
-    fn make(shape: Shape, data: Arc<Data>) -> Tensor {
+    fn make(shape: Shape, data: Data) -> Tensor {
+        Tensor {
+            inner: Arc::new(TensorInner {
+                shape,
+                data: Arc::new(Storage::new(data)),
+            }),
+        }
+    }
+
+    /// Build a tensor sharing an existing storage buffer (reshape):
+    /// no new allocation, no accounting entry.
+    #[inline]
+    fn make_shared(shape: Shape, data: Arc<Storage>) -> Tensor {
         Tensor {
             inner: Arc::new(TensorInner { shape, data }),
         }
+    }
+
+    #[inline]
+    fn raw(&self) -> &Data {
+        &self.inner.data.data
     }
 }
 
@@ -82,7 +148,7 @@ impl Tensor {
     /// describe exactly `data.len()` elements.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Tensor> {
         Self::check_len(data.len(), shape)?;
-        Ok(Tensor::make(Shape::new(shape), Arc::new(Data::F32(data))))
+        Ok(Tensor::make(Shape::new(shape), Data::F32(data)))
     }
 
     /// Build an i64 tensor from a flat vector and a shape.
@@ -93,7 +159,7 @@ impl Tensor {
     /// mismatch.
     pub fn from_vec_i64(data: Vec<i64>, shape: &[usize]) -> Result<Tensor> {
         Self::check_len(data.len(), shape)?;
-        Ok(Tensor::make(Shape::new(shape), Arc::new(Data::I64(data))))
+        Ok(Tensor::make(Shape::new(shape), Data::I64(data)))
     }
 
     /// Build a bool tensor from a flat vector and a shape.
@@ -104,22 +170,22 @@ impl Tensor {
     /// mismatch.
     pub fn from_vec_bool(data: Vec<bool>, shape: &[usize]) -> Result<Tensor> {
         Self::check_len(data.len(), shape)?;
-        Ok(Tensor::make(Shape::new(shape), Arc::new(Data::Bool(data))))
+        Ok(Tensor::make(Shape::new(shape), Data::Bool(data)))
     }
 
     /// An f32 scalar.
     pub fn scalar_f32(v: f32) -> Tensor {
-        Tensor::make(Shape::default(), Arc::new(Data::F32(vec![v])))
+        Tensor::make(Shape::default(), Data::F32(vec![v]))
     }
 
     /// An i64 scalar.
     pub fn scalar_i64(v: i64) -> Tensor {
-        Tensor::make(Shape::default(), Arc::new(Data::I64(vec![v])))
+        Tensor::make(Shape::default(), Data::I64(vec![v]))
     }
 
     /// A bool scalar.
     pub fn scalar_bool(v: bool) -> Tensor {
-        Tensor::make(Shape::default(), Arc::new(Data::Bool(vec![v])))
+        Tensor::make(Shape::default(), Data::Bool(vec![v]))
     }
 
     /// All-zeros tensor of the given dtype and shape.
@@ -130,7 +196,7 @@ impl Tensor {
             DType::I64 => Data::I64(vec![0; n]),
             DType::Bool => Data::Bool(vec![false; n]),
         };
-        Tensor::make(Shape::new(shape), Arc::new(data))
+        Tensor::make(Shape::new(shape), data)
     }
 
     /// All-ones tensor of the given dtype and shape (`true` for bool).
@@ -141,20 +207,20 @@ impl Tensor {
             DType::I64 => Data::I64(vec![1; n]),
             DType::Bool => Data::Bool(vec![true; n]),
         };
-        Tensor::make(Shape::new(shape), Arc::new(data))
+        Tensor::make(Shape::new(shape), data)
     }
 
     /// Tensor filled with a single f32 value.
     pub fn full(value: f32, shape: &[usize]) -> Tensor {
         let n = shape.iter().product();
-        Tensor::make(Shape::new(shape), Arc::new(Data::F32(vec![value; n])))
+        Tensor::make(Shape::new(shape), Data::F32(vec![value; n]))
     }
 
     /// `[0, 1, ..., n-1]` as an i64 vector, like `tf.range(n)`.
     pub fn range_i64(n: i64) -> Tensor {
         let v: Vec<i64> = (0..n.max(0)).collect();
         let len = v.len();
-        Tensor::make(Shape::new(&[len]), Arc::new(Data::I64(v)))
+        Tensor::make(Shape::new(&[len]), Data::I64(v))
     }
 
     fn check_len(len: usize, shape: &[usize]) -> Result<()> {
@@ -171,7 +237,7 @@ impl Tensor {
     /// Internal constructor from raw parts; validates element count.
     pub(crate) fn from_data(data: Data, shape: &[usize]) -> Tensor {
         debug_assert_eq!(data.len(), shape.iter().product::<usize>());
-        Tensor::make(Shape::new(shape), Arc::new(data))
+        Tensor::make(Shape::new(shape), data)
     }
 
     // ---- accessors --------------------------------------------------------
@@ -193,12 +259,12 @@ impl Tensor {
 
     /// Element type.
     pub fn dtype(&self) -> DType {
-        self.inner.data.dtype()
+        self.raw().dtype()
     }
 
     /// Raw storage.
     pub fn data(&self) -> &Data {
-        &self.inner.data
+        self.raw()
     }
 
     /// View as an f32 slice.
@@ -207,7 +273,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `F32`.
     pub fn as_f32(&self) -> Result<&[f32]> {
-        match &*self.inner.data {
+        match self.raw() {
             Data::F32(v) => Ok(v),
             _ => Err(TensorError::DTypeMismatch {
                 op: "as_f32",
@@ -223,7 +289,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `I64`.
     pub fn as_i64(&self) -> Result<&[i64]> {
-        match &*self.inner.data {
+        match self.raw() {
             Data::I64(v) => Ok(v),
             _ => Err(TensorError::DTypeMismatch {
                 op: "as_i64",
@@ -239,7 +305,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `Bool`.
     pub fn as_bool(&self) -> Result<&[bool]> {
-        match &*self.inner.data {
+        match self.raw() {
             Data::Bool(v) => Ok(v),
             _ => Err(TensorError::DTypeMismatch {
                 op: "as_bool",
@@ -263,7 +329,7 @@ impl Tensor {
                 expected: "scalar (1 element)",
             });
         }
-        Ok(match &*self.inner.data {
+        Ok(match self.raw() {
             Data::F32(v) => v[0],
             Data::I64(v) => v[0] as f32,
             Data::Bool(v) => {
@@ -290,7 +356,7 @@ impl Tensor {
                 expected: "scalar (1 element)",
             });
         }
-        Ok(match &*self.inner.data {
+        Ok(match self.raw() {
             Data::F32(v) => v[0] as i64,
             Data::I64(v) => v[0],
             Data::Bool(v) => v[0] as i64,
@@ -310,7 +376,7 @@ impl Tensor {
                 expected: "scalar (1 element)",
             });
         }
-        match &*self.inner.data {
+        match self.raw() {
             Data::Bool(v) => Ok(v[0]),
             Data::I64(v) => Ok(v[0] != 0),
             Data::F32(_) => Err(TensorError::DTypeMismatch {
@@ -341,7 +407,7 @@ impl Tensor {
             dims[pos] = self.num_elements() / known;
         }
         Self::check_len(self.num_elements(), &dims)?;
-        Ok(Tensor::make(
+        Ok(Tensor::make_shared(
             Shape::new(&dims),
             Arc::clone(&self.inner.data),
         ))
@@ -352,7 +418,7 @@ impl Tensor {
         if self.dtype() == dtype {
             return self.clone();
         }
-        let data = match (&*self.inner.data, dtype) {
+        let data = match (self.raw(), dtype) {
             (Data::F32(v), DType::I64) => Data::I64(v.iter().map(|&x| x as i64).collect()),
             (Data::F32(v), DType::Bool) => Data::Bool(v.iter().map(|&x| x != 0.0).collect()),
             (Data::I64(v), DType::F32) => Data::F32(v.iter().map(|&x| x as f32).collect()),
@@ -368,7 +434,7 @@ impl Tensor {
 
     /// Convert to a flat `Vec<f32>`, casting if necessary.
     pub fn to_f32_vec(&self) -> Vec<f32> {
-        match &*self.inner.data {
+        match self.raw() {
             Data::F32(v) => v.clone(),
             Data::I64(v) => v.iter().map(|&x| x as f32).collect(),
             Data::Bool(v) => v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect(),
@@ -380,7 +446,7 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor<{}>{:?}", self.dtype(), self.shape())?;
         const MAX: usize = 8;
-        match &*self.inner.data {
+        match self.raw() {
             Data::F32(v) => write_preview(f, v, MAX),
             Data::I64(v) => write_preview(f, v, MAX),
             Data::Bool(v) => write_preview(f, v, MAX),

@@ -38,8 +38,33 @@ for seed in 7 982451653; do
     AUTOGRAPH_CHAOS_SEED=$seed cargo test -q --test chaos
 done
 
-echo "== parallel executor baseline (BENCH_parallel.json)"
+echo "== bench artifacts (BENCH_table1.json + BENCH_parallel.json + BENCH_report.json)"
 cargo run --release -q -p autograph-bench --bin table1 -- \
-    --runs 5 --threads 4 --json BENCH_parallel.json
+    --runs 5 --threads 4 \
+    --json BENCH_parallel.json \
+    --json-table BENCH_table1.json \
+    --report BENCH_report.json
+
+# Perf-regression gate: diff fresh bench results against the committed
+# baselines. Tolerances are deliberately WIDE (rel 60%, and wider for the
+# most timing-sensitive metrics): CI runs on shared, often single-CPU
+# machines where run-to-run noise of 2x is routine. The gate exists to
+# catch order-of-magnitude regressions and structural breaks (metric
+# disappeared, determinism bit flipped, speedup collapsed), not 10%
+# drifts. Regenerate baselines on a quiet machine with:
+#   scripts/ci.sh --update-baselines   (or copy BENCH_*.json to baselines/)
+if [[ "${1:-}" == "--update-baselines" ]]; then
+    echo "== updating committed baselines (baselines/)"
+    mkdir -p baselines
+    cp BENCH_table1.json baselines/BENCH_table1.json
+    cp BENCH_parallel.json baselines/BENCH_parallel.json
+else
+    echo "== perf-regression gate (autograph-report diff vs baselines/)"
+    cargo run --release -q -p autograph-report --bin autograph-report -- \
+        diff baselines/BENCH_table1.json BENCH_table1.json --tol-pct 60
+    cargo run --release -q -p autograph-report --bin autograph-report -- \
+        diff baselines/BENCH_parallel.json BENCH_parallel.json \
+        --tol-pct 60 --tol speedup=75 --tol seconds=75
+fi
 
 echo "CI OK"
