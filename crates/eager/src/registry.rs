@@ -230,6 +230,47 @@ pub fn default_registry() -> HashMap<String, OpDef> {
             Ok(vec![Some(b.div(&Tensor::scalar_f32(n))?)])
         }),
     );
+    /// Adjoint of an axis reduction: insert the reduced dim back as
+    /// size 1, then broadcast `g` up to the input's shape.
+    fn expand_axis_grad(g: &Tensor, input: &Tensor, axis: &Tensor) -> Result<(Tensor, usize)> {
+        let rank = input.rank() as i64;
+        let mut ax = axis.scalar_value_i64()?;
+        if ax < 0 {
+            ax += rank;
+        }
+        if ax < 0 || ax >= rank {
+            return Err(EagerError::new(format!(
+                "reduction axis {ax} out of range for rank {rank}"
+            )));
+        }
+        let ax = ax as usize;
+        let mut shape = g.shape().to_vec();
+        shape.insert(ax, 1);
+        let ge = g.reshape(&shape)?;
+        let gb = ge.add(&Tensor::zeros(DType::F32, input.shape()))?;
+        Ok((gb, input.shape()[ax]))
+    }
+
+    // Axis reductions take the axis as a second (non-differentiable)
+    // scalar-i64 input so the tape can replay them like any other op.
+    op(
+        &mut r,
+        "reduce_sum_axis",
+        |x| Ok(x[0].reduce_sum(Some(x[1].scalar_value_i64()? as isize))?),
+        bwd(|g, x, _| {
+            let (gb, _) = expand_axis_grad(g, &x[0], &x[1])?;
+            Ok(vec![Some(gb), None])
+        }),
+    );
+    op(
+        &mut r,
+        "reduce_mean_axis",
+        |x| Ok(x[0].reduce_mean(Some(x[1].scalar_value_i64()? as isize))?),
+        bwd(|g, x, _| {
+            let (gb, n) = expand_axis_grad(g, &x[0], &x[1])?;
+            Ok(vec![Some(gb.div(&Tensor::scalar_f32(n as f32))?), None])
+        }),
+    );
     op(
         &mut r,
         "softmax_cross_entropy",
@@ -412,6 +453,37 @@ mod tests {
         // broadcast grad reduced back to scalar
         assert_eq!(grads[1].as_ref().unwrap().shape(), &[] as &[usize]);
         assert_eq!(grads[1].as_ref().unwrap().scalar_value_f32().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn axis_reduction_backward_expands_and_scales() {
+        let r = default_registry();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let ax = Tensor::scalar_i64(-2); // negative axis == axis 0
+        let out = (r["reduce_mean_axis"].forward)(&[x.clone(), ax.clone()]).unwrap();
+        assert_eq!(out.shape(), &[3]);
+        assert_eq!(out.as_f32().unwrap(), &[2.5, 3.5, 4.5]);
+        let g = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]).unwrap();
+        let grads =
+            (r["reduce_mean_axis"].backward.as_ref().unwrap())(&g, &[x.clone(), ax], &out).unwrap();
+        // each input element contributes 1/2 of its column's grad
+        let gx = grads[0].as_ref().unwrap();
+        assert_eq!(gx.shape(), &[2, 3]);
+        assert_eq!(gx.as_f32().unwrap(), &[5.0, 10.0, 15.0, 5.0, 10.0, 15.0]);
+        assert!(grads[1].is_none(), "the axis input is not differentiable");
+
+        let ax1 = Tensor::scalar_i64(1);
+        let out = (r["reduce_sum_axis"].forward)(&[x.clone(), ax1.clone()]).unwrap();
+        assert_eq!(out.as_f32().unwrap(), &[6.0, 15.0]);
+        let g = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let grads = (r["reduce_sum_axis"].backward.as_ref().unwrap())(&g, &[x, ax1], &out).unwrap();
+        let gx = grads[0].as_ref().unwrap();
+        assert_eq!(gx.as_f32().unwrap(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+
+        // out-of-range axis is a structured error, not a panic
+        let bad = Tensor::scalar_i64(7);
+        let x2 = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert!((r["reduce_sum_axis"].forward)(&[x2, bad]).is_err());
     }
 
     #[test]

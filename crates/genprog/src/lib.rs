@@ -1,0 +1,31 @@
+//! # genprog — generative differential testing for AutoGraph
+//!
+//! The paper's core claim (§4, §7.2) is *semantic equivalence*: staged
+//! code computes exactly what the imperative program computes. The
+//! hand-written differential corpus checks ~30 fixed programs; this
+//! crate generates unbounded numbers of them:
+//!
+//! * [`gen`] — a seeded, typed PyLite program generator whose grammar
+//!   is gated to constructs every backend supports (same seed → same
+//!   program, bitwise);
+//! * [`oracle`] — a multi-oracle harness running each program through
+//!   eager, the staged graph at several thread counts, Lantern, and a
+//!   finite-difference gradient check, with determinism oracles on top;
+//! * [`shrink`] — a delta-debugging minimizer that reduces a failing
+//!   program while it keeps failing the *same* oracle;
+//! * [`repro`] — `.pylite` reproducer files (comment header + source)
+//!   written to `tests/regressions/` and replayed by the test suite;
+//! * [`compare`] — the tolerance/bitwise tensor comparison used by the
+//!   oracles and re-exported to the repo's integration tests.
+//!
+//! The `genprog` binary drives it: `fuzz` a seed range, `gen` to print
+//! one program, `replay` a reproducer, `minimize` a failing case.
+
+pub mod compare;
+pub mod gen;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+pub use gen::generate;
+pub use oracle::{check, GenCase, OracleCfg, Outcome};

@@ -1,0 +1,296 @@
+//! `genprog` — fuzz driver CLI.
+//!
+//! ```text
+//! genprog gen --seed 42                      # print one generated program
+//! genprog fuzz --seeds 0..500 [--threads 1,4] [--out tests/regressions]
+//! genprog replay path/to/case.pylite [path ...]
+//! genprog minimize path/to/case.pylite [--out minimized.pylite]
+//! ```
+//!
+//! `fuzz` exits nonzero if any seed diverges; each divergence is
+//! minimized and written as a `.pylite` reproducer (stdout explains
+//! where). `replay` re-runs committed reproducers and exits nonzero if
+//! any of them still fails — with an empty fault plan installed they
+//! are expected to pass once the underlying bug is fixed.
+
+use genprog::oracle::{check, check_src, OracleCfg, Outcome};
+use genprog::{generate, repro, shrink};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("usage: genprog <gen|fuzz|replay|minimize> [options]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "gen" => cmd_gen(rest),
+        "fuzz" => cmd_fuzz(rest),
+        "replay" => cmd_replay(rest),
+        "minimize" => cmd_minimize(rest),
+        other => {
+            eprintln!("unknown command {other:?}; expected gen|fuzz|replay|minimize");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Value of `--flag <v>` (or `--flag=<v>`) in `args`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().map(String::as_str);
+        }
+        if let Some(rest) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+/// Parse `lo..hi` (exclusive) or a single seed.
+fn parse_seeds(s: &str) -> Result<std::ops::Range<u64>, String> {
+    if let Some((lo, hi)) = s.split_once("..") {
+        let lo = lo.parse().map_err(|e| format!("seed range {s:?}: {e}"))?;
+        let hi = hi.parse().map_err(|e| format!("seed range {s:?}: {e}"))?;
+        if lo >= hi {
+            return Err(format!("empty seed range {s:?}"));
+        }
+        Ok(lo..hi)
+    } else {
+        let one: u64 = s.parse().map_err(|e| format!("seed {s:?}: {e}"))?;
+        Ok(one..one + 1)
+    }
+}
+
+fn parse_threads(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|t| t.trim().parse().map_err(|e| format!("threads {t:?}: {e}")))
+        .collect()
+}
+
+fn cfg_from_args(args: &[String]) -> Result<OracleCfg, String> {
+    let mut cfg = OracleCfg::default();
+    if let Some(t) = flag_value(args, "--threads") {
+        cfg.threads = parse_threads(t)?;
+        if cfg.threads.is_empty() {
+            return Err("--threads needs at least one count".to_string());
+        }
+    }
+    if flag_value(args, "--no-lantern").is_some() || args.iter().any(|a| a == "--no-lantern") {
+        cfg.check_lantern = false;
+    }
+    if args.iter().any(|a| a == "--no-grad") {
+        cfg.check_grad = false;
+    }
+    Ok(cfg)
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let seed: u64 = match flag_value(args, "--seed").map(str::parse) {
+        Some(Ok(s)) => s,
+        Some(Err(e)) => {
+            eprintln!("--seed: {e}");
+            return ExitCode::FAILURE;
+        }
+        None => 0,
+    };
+    let case = generate(seed);
+    // print as a reproducer so feeds/gates are visible and replayable
+    print!("{}", repro::to_pylite(&case, "none"));
+    ExitCode::SUCCESS
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let seeds = match parse_seeds(flag_value(args, "--seeds").unwrap_or("0..100")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match cfg_from_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_dir = flag_value(args, "--out").unwrap_or("tests/regressions");
+    let no_minimize = args.iter().any(|a| a == "--no-minimize");
+
+    let total = seeds.end - seeds.start;
+    let (mut passed, mut skipped, mut failed) = (0u64, 0u64, 0u64);
+    for seed in seeds {
+        let case = generate(seed);
+        match check(&case, &cfg) {
+            Outcome::Pass => passed += 1,
+            Outcome::NonFinite => skipped += 1,
+            Outcome::Fail(d) => {
+                failed += 1;
+                eprintln!("seed {seed}: FAIL [{}] {}", d.oracle, d.detail);
+                let final_case = if no_minimize {
+                    case.clone()
+                } else {
+                    let r = shrink::minimize(
+                        &case.src,
+                        &case.feeds,
+                        case.lantern_ok,
+                        case.differentiable,
+                        &cfg,
+                        &d.oracle,
+                    );
+                    eprintln!(
+                        "seed {seed}: minimized to {} statements in {} steps",
+                        r.stmt_count, r.steps
+                    );
+                    genprog::GenCase {
+                        src: r.src,
+                        ..case.clone()
+                    }
+                };
+                let path = format!("{out_dir}/seed_{seed}_{}.pylite", d.oracle);
+                let text = repro::to_pylite(&final_case, &d.oracle);
+                if let Err(e) =
+                    std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&path, &text))
+                {
+                    eprintln!("seed {seed}: could not write {path}: {e}");
+                    eprintln!("--- reproducer ---\n{text}--- end ---");
+                } else {
+                    eprintln!("seed {seed}: reproducer written to {path}");
+                }
+            }
+        }
+    }
+    println!(
+        "fuzz: {total} seeds — {passed} passed, {skipped} skipped (non-finite), {failed} failed"
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        eprintln!("usage: genprog replay <case.pylite> [...]");
+        return ExitCode::FAILURE;
+    }
+    let cfg = match cfg_from_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut bad = 0;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        let (case, orig_oracle) = match repro::from_pylite(&text) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{path}: malformed reproducer: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        match check(&case, &cfg) {
+            Outcome::Pass => println!("{path}: PASS (originally failed [{orig_oracle}])"),
+            Outcome::NonFinite => println!("{path}: SKIP (non-finite)"),
+            Outcome::Fail(d) => {
+                eprintln!("{path}: STILL FAILING [{}] {}", d.oracle, d.detail);
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_minimize(args: &[String]) -> ExitCode {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: genprog minimize <case.pylite> [--out <path>]");
+        return ExitCode::FAILURE;
+    };
+    let cfg = match cfg_from_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (case, _) = match repro::from_pylite(&text) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{path}: malformed reproducer: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // find what it fails *now* (the header's oracle may predate a fix)
+    let oracle = match check_src(
+        &case.src,
+        &case.feeds,
+        case.lantern_ok,
+        case.differentiable,
+        &cfg,
+    ) {
+        Outcome::Fail(d) => d.oracle,
+        Outcome::Pass | Outcome::NonFinite => {
+            println!("{path}: does not fail any oracle — nothing to minimize");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let r = shrink::minimize(
+        &case.src,
+        &case.feeds,
+        case.lantern_ok,
+        case.differentiable,
+        &cfg,
+        &oracle,
+    );
+    println!(
+        "minimized to {} statements in {} steps (oracle [{oracle}])",
+        r.stmt_count, r.steps
+    );
+    let out_case = genprog::GenCase { src: r.src, ..case };
+    let out_text = repro::to_pylite(&out_case, &oracle);
+    match flag_value(args, "--out") {
+        Some(out) => match std::fs::write(out, &out_text) {
+            Ok(()) => {
+                println!("written to {out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{out}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{out_text}");
+            ExitCode::SUCCESS
+        }
+    }
+}

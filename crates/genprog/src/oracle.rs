@@ -1,0 +1,446 @@
+//! Multi-oracle differential harness.
+//!
+//! One generated (or replayed) program is pushed through every backend
+//! configuration the repo supports, in a fixed order, and the first
+//! disagreement is reported with the oracle that caught it:
+//!
+//! | oracle | checks |
+//! |---|---|
+//! | `convert-load` | conversion + module load succeeds |
+//! | `eager-run` | the eager interpreter runs the program |
+//! | `stage` | staging to a dataflow graph succeeds |
+//! | `graph-run-tN` | the staged graph runs at `N` threads |
+//! | `eager-vs-graph` | eager and graph agree to 1e-6 |
+//! | `graph-bitwise` | all thread counts agree **bitwise** |
+//! | `rerun-determinism` | running the same session twice is bitwise-stable |
+//! | `restage-determinism` | staging twice gives bitwise-identical results |
+//! | `eager-vs-lantern` | the Lantern backend agrees to 1e-6 (gated) |
+//! | `fd-grad` | tape gradient matches central finite differences (gated) |
+//! | `hang` | the whole pipeline finished inside the watchdog budget |
+//!
+//! Oracle *names* are stable identifiers: the shrinker accepts a
+//! reduction step only if the reduced program still fails the **same**
+//! oracle, and regression files record the name in their header.
+
+use crate::compare;
+use autograph::lantern;
+use autograph::prelude::*;
+use autograph::RunOptions;
+use autograph_tensor::Tensor as T;
+use std::time::Duration;
+
+/// One generated test case: a PyLite program plus its feeds and the
+/// oracle gates the generator derived from the constructs it used.
+#[derive(Debug, Clone)]
+pub struct GenCase {
+    /// The seed that produced this case (0 for hand-written replays).
+    pub seed: u64,
+    /// PyLite source defining `def f(...)`.
+    pub src: String,
+    /// Feed tensors, in parameter order.
+    pub feeds: Vec<(String, Tensor)>,
+    /// Whether the op set is inside the Lantern backend's support.
+    pub lantern_ok: bool,
+    /// Whether the program is smooth enough for finite-difference
+    /// gradient checking (no branches/kinks, single output).
+    pub differentiable: bool,
+}
+
+/// Which oracles to run and how strictly.
+#[derive(Debug, Clone)]
+pub struct OracleCfg {
+    /// Absolute tolerance for cross-backend value agreement.
+    pub tol: f32,
+    /// Thread counts to run the staged graph at; the first entry is the
+    /// reference (compared against eager), the rest must match it
+    /// bitwise.
+    pub threads: Vec<usize>,
+    /// Run the Lantern oracle on `lantern_ok` cases.
+    pub check_lantern: bool,
+    /// Run the finite-difference gradient oracle on `differentiable`
+    /// cases.
+    pub check_grad: bool,
+    /// Stage a second time and require bitwise-identical results.
+    pub check_restage: bool,
+    /// Safety net for staged loops (generated loops terminate by
+    /// construction; shrunk mutants may not).
+    pub max_while_iters: u64,
+}
+
+impl Default for OracleCfg {
+    fn default() -> Self {
+        OracleCfg {
+            tol: compare::DEFAULT_TOL,
+            threads: vec![1, 4],
+            check_lantern: true,
+            check_grad: true,
+            check_restage: true,
+            max_while_iters: 100_000,
+        }
+    }
+}
+
+/// A reproducible oracle failure.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Stable oracle identifier (see the module table).
+    pub oracle: String,
+    /// Human-readable description of the first mismatch.
+    pub detail: String,
+}
+
+/// Result of pushing one case through the oracle pipeline.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Every applicable oracle agreed.
+    Pass,
+    /// The program legitimately produced non-finite values eagerly;
+    /// value comparisons would be meaningless, so the case is skipped
+    /// (counted separately so a generator gating bug shows up as a
+    /// skip-rate spike, not silence).
+    NonFinite,
+    /// An oracle caught a divergence.
+    Fail(Divergence),
+}
+
+impl Outcome {
+    /// The failing oracle's name, if this outcome is a failure.
+    pub fn failing_oracle(&self) -> Option<&str> {
+        match self {
+            Outcome::Fail(d) => Some(&d.oracle),
+            _ => None,
+        }
+    }
+}
+
+fn fail(oracle: &str, detail: impl std::fmt::Display) -> Outcome {
+    Outcome::Fail(Divergence {
+        oracle: oracle.to_string(),
+        detail: detail.to_string(),
+    })
+}
+
+/// Flatten an eager call result into a tensor list.
+fn flatten_value(v: Value) -> Result<Vec<T>, String> {
+    match v {
+        Value::Tuple(items) => items
+            .iter()
+            .map(|x| {
+                x.as_eager_tensor()
+                    .map_err(|e| format!("non-tensor output: {e}"))
+            })
+            .collect(),
+        single => Ok(vec![single
+            .as_eager_tensor()
+            .map_err(|e| format!("non-tensor output: {e}"))?]),
+    }
+}
+
+fn flatten_lvalue(v: lantern::value::LValue) -> Result<Vec<T>, String> {
+    match v {
+        lantern::value::LValue::Tuple(items) => items
+            .iter()
+            .map(|x| {
+                x.as_tensor()
+                    .cloned()
+                    .map_err(|e| format!("non-tensor lantern output: {e}"))
+            })
+            .collect(),
+        single => Ok(vec![single
+            .as_tensor()
+            .map_err(|e| format!("non-tensor lantern output: {e}"))?
+            .clone()]),
+    }
+}
+
+/// Run the full oracle pipeline on one case. See the module docs for
+/// the oracle order; the first failure wins.
+pub fn check(case: &GenCase, cfg: &OracleCfg) -> Outcome {
+    check_src(
+        &case.src,
+        &case.feeds,
+        case.lantern_ok,
+        case.differentiable,
+        cfg,
+    )
+}
+
+/// [`check`] over borrowed parts — the shrinker calls this with mutated
+/// sources against the original feeds/gates.
+pub fn check_src(
+    src: &str,
+    feeds: &[(String, Tensor)],
+    lantern_ok: bool,
+    differentiable: bool,
+    cfg: &OracleCfg,
+) -> Outcome {
+    // 1. convert + load
+    let mut rt = match Runtime::load(src, true) {
+        Ok(rt) => rt,
+        Err(e) => return fail("convert-load", e),
+    };
+
+    // 2. eager reference
+    let eager_args: Vec<Value> = feeds
+        .iter()
+        .map(|(_, t)| Value::tensor(t.clone()))
+        .collect();
+    let eager = match rt.call("f", eager_args) {
+        Ok(v) => v,
+        Err(e) => return fail("eager-run", e),
+    };
+    let eager_flat = match flatten_value(eager) {
+        Ok(ts) => ts,
+        Err(e) => return fail("eager-run", e),
+    };
+    if !compare::all_finite(&eager_flat) {
+        return Outcome::NonFinite;
+    }
+
+    // 3. stage to graph
+    let placeholder_args: Vec<GraphArg> = feeds
+        .iter()
+        .map(|(n, _)| GraphArg::Placeholder(n.clone()))
+        .collect();
+    let staged = match rt.stage_to_graph("f", placeholder_args.clone()) {
+        Ok(s) => s,
+        Err(e) => return fail("stage", e),
+    };
+
+    // 4. graph at every configured thread count
+    let feed_refs: Vec<(&str, Tensor)> =
+        feeds.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+    let opts = RunOptions {
+        max_while_iters: Some(cfg.max_while_iters),
+        ..RunOptions::default()
+    };
+    let mut per_thread: Vec<(usize, Vec<T>)> = Vec::new();
+    for &n in &cfg.threads {
+        let mut sess = Session::new(staged.graph.clone());
+        sess.set_threads(n);
+        match sess.run_with_options(&feed_refs, &staged.outputs, &opts) {
+            Ok(out) => per_thread.push((n, out)),
+            Err(e) => return fail(&format!("graph-run-t{n}"), e),
+        }
+    }
+    let Some((t0, ref_out)) = per_thread.first().cloned() else {
+        return fail("graph-run", "no thread counts configured");
+    };
+
+    // 5. eager vs graph (tolerance)
+    if let Err(e) = compare::close("eager vs graph", &eager_flat, &ref_out, cfg.tol) {
+        return fail("eager-vs-graph", e);
+    }
+
+    // 6. cross-thread bitwise determinism
+    for (n, out) in &per_thread[1..] {
+        if let Err(e) = compare::bitwise(&format!("graph t{t0} vs t{n}"), &ref_out, out) {
+            return fail("graph-bitwise", e);
+        }
+    }
+
+    // 7. rerun determinism: same session, same plan, run again
+    if let Some(&last) = cfg.threads.last() {
+        let mut sess = Session::new(staged.graph.clone());
+        sess.set_threads(last);
+        let a = match sess.run_with_options(&feed_refs, &staged.outputs, &opts) {
+            Ok(out) => out,
+            Err(e) => return fail("rerun-determinism", e),
+        };
+        let b = match sess.run_with_options(&feed_refs, &staged.outputs, &opts) {
+            Ok(out) => out,
+            Err(e) => return fail("rerun-determinism", e),
+        };
+        if let Err(e) = compare::bitwise("rerun", &a, &b) {
+            return fail("rerun-determinism", e);
+        }
+    }
+
+    // 8. idempotent staging: stage the same function again, run at the
+    // reference thread count, require bitwise-identical results
+    if cfg.check_restage {
+        match rt.stage_to_graph("f", placeholder_args) {
+            Ok(staged2) => {
+                let mut sess = Session::new(staged2.graph);
+                sess.set_threads(t0);
+                match sess.run_with_options(&feed_refs, &staged2.outputs, &opts) {
+                    Ok(out) => {
+                        if let Err(e) = compare::bitwise("restage", &ref_out, &out) {
+                            return fail("restage-determinism", e);
+                        }
+                    }
+                    Err(e) => return fail("restage-determinism", e),
+                }
+            }
+            Err(e) => return fail("restage-determinism", e),
+        }
+    }
+
+    // 9. Lantern (gated on the generator's op-support flag)
+    if lantern_ok && cfg.check_lantern {
+        let lantern_args: Vec<LanternArg> = feeds
+            .iter()
+            .map(|(n, _)| LanternArg::Extern(n.clone()))
+            .collect();
+        match rt.stage_to_lantern("f", lantern_args) {
+            Ok(program) => {
+                let engine = lantern::Engine::new(program);
+                match engine.run(&feed_refs, &[]) {
+                    Ok(out) => match flatten_lvalue(out) {
+                        Ok(lantern_flat) => {
+                            if let Err(e) = compare::close(
+                                "eager vs lantern",
+                                &eager_flat,
+                                &lantern_flat,
+                                cfg.tol,
+                            ) {
+                                return fail("eager-vs-lantern", e);
+                            }
+                        }
+                        Err(e) => return fail("eager-vs-lantern", e),
+                    },
+                    Err(e) => return fail("eager-vs-lantern", e),
+                }
+            }
+            Err(e) => return fail("eager-vs-lantern", e),
+        }
+    }
+
+    // 10. finite-difference gradient of a scalarized loss w.r.t. the
+    // first parameter, vs the eager tape
+    if differentiable && cfg.check_grad {
+        if let Outcome::Fail(d) = check_gradient(src, feeds, &eager_flat, cfg) {
+            return Outcome::Fail(d);
+        }
+    }
+
+    Outcome::Pass
+}
+
+/// Gradient oracle: wrap `f` in a scalar loss, differentiate it with
+/// the eager tape, and compare against central finite differences.
+/// Non-finite gradients (the loss wandered into saturation) skip the
+/// check rather than failing it.
+fn check_gradient(
+    src: &str,
+    feeds: &[(String, Tensor)],
+    eager_flat: &[T],
+    _cfg: &OracleCfg,
+) -> Outcome {
+    let params: Vec<&str> = feeds.iter().map(|(n, _)| n.as_str()).collect();
+    let plist = params.join(", ");
+    // the first output's rank decides how the loss is scalarized
+    let scalarize = if eager_flat[0].shape().is_empty() {
+        "tf.square(r)".to_string()
+    } else {
+        "tf.reduce_sum(tf.square(r))".to_string()
+    };
+    let wrapper = format!(
+        "\ndef gp_loss({plist}):\n    r = f({plist})\n    return {scalarize}\n\n\
+         def gp_loss_tape({plist}):\n    tf.tape_begin()\n    {p0} = tf.watch({p0})\n    \
+         r = f({plist})\n    l = {scalarize}\n    g = tf.grad(l, [{p0}])\n    return g[0]\n",
+        p0 = params[0],
+    );
+    let full = format!("{src}{wrapper}");
+    let mut rt = match Runtime::load(&full, true) {
+        Ok(rt) => rt,
+        Err(e) => return fail("fd-grad", format!("loss wrapper load: {e}")),
+    };
+
+    // eager tape gradient
+    let tape_args: Vec<Value> = feeds
+        .iter()
+        .map(|(_, t)| Value::tensor(t.clone()))
+        .collect();
+    let tape = match rt.call("gp_loss_tape", tape_args) {
+        Ok(v) => v,
+        Err(e) => return fail("fd-grad", format!("tape: {e}")),
+    };
+    let tape = match tape.as_eager_tensor() {
+        Ok(t) => t,
+        Err(e) => return fail("fd-grad", format!("tape result: {e}")),
+    };
+    let tape_vals = tape.to_f32_vec();
+    if !tape_vals.iter().all(|v| v.is_finite()) {
+        return Outcome::Pass; // saturated — FD would be meaningless
+    }
+
+    // central finite differences w.r.t. feeds[0]
+    let eps = 5e-3f32;
+    let base = feeds[0].1.to_f32_vec();
+    let shape = feeds[0].1.shape().to_vec();
+    if tape_vals.len() != base.len() {
+        return fail(
+            "fd-grad",
+            format!(
+                "grad arity: tape {} vs param {}",
+                tape_vals.len(),
+                base.len()
+            ),
+        );
+    }
+    let mut eval = |bumped: Vec<f32>| -> Result<f32, String> {
+        let t = Tensor::from_vec(bumped, &shape).map_err(|e| e.to_string())?;
+        let mut args: Vec<Value> = Vec::with_capacity(feeds.len());
+        args.push(Value::tensor(t));
+        for (_, t) in &feeds[1..] {
+            args.push(Value::tensor(t.clone()));
+        }
+        let v = rt.call("gp_loss", args).map_err(|e| e.to_string())?;
+        let t = v.as_eager_tensor().map_err(|e| e.to_string())?;
+        t.scalar_value_f32().map_err(|e| e.to_string())
+    };
+    for i in 0..base.len() {
+        let mut plus = base.clone();
+        plus[i] += eps;
+        let mut minus = base.clone();
+        minus[i] -= eps;
+        let (lp, lm) = match (eval(plus), eval(minus)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => return fail("fd-grad", format!("fd eval: {e}")),
+        };
+        if !lp.is_finite() || !lm.is_finite() {
+            return Outcome::Pass; // bumped into saturation — skip
+        }
+        let fd = (lp - lm) / (2.0 * eps);
+        let tol = 3e-2 * fd.abs().max(tape_vals[i].abs()).max(1.0);
+        if (fd - tape_vals[i]).abs() > tol {
+            return fail(
+                "fd-grad",
+                format!(
+                    "d loss/d {}[{i}]: tape {} vs fd {fd} (tol {tol})",
+                    feeds[0].0, tape_vals[i]
+                ),
+            );
+        }
+    }
+    Outcome::Pass
+}
+
+/// [`check_src`] under a wall-clock watchdog. Shrink mutants can turn a
+/// terminating loop into an infinite one (e.g. by deleting a counter
+/// increment); the eager interpreter has no fuel limit, so the check
+/// runs on a helper thread and a timeout is reported as the stable
+/// oracle name `hang`. The stuck thread is detached — acceptable for a
+/// short-lived fuzz/shrink process, which exits soon after.
+pub fn check_src_watchdog(
+    src: &str,
+    feeds: &[(String, Tensor)],
+    lantern_ok: bool,
+    differentiable: bool,
+    cfg: &OracleCfg,
+    timeout: Duration,
+) -> Outcome {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let src = src.to_string();
+    let feeds = feeds.to_vec();
+    let cfg = cfg.clone();
+    std::thread::spawn(move || {
+        let out = check_src(&src, &feeds, lantern_ok, differentiable, &cfg);
+        let _ = tx.send(out);
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(out) => out,
+        Err(_) => fail("hang", format!("no verdict within {timeout:?}")),
+    }
+}

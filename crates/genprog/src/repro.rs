@@ -1,0 +1,185 @@
+//! Reproducer files: a failing case serialized as PyLite source with a
+//! metadata header in `#` comments (the PyLite lexer skips comments, so
+//! a `.pylite` reproducer is *also* a loadable program as-is).
+//!
+//! ```text
+//! # seed: 42
+//! # oracle: eager-vs-graph
+//! # lantern: false
+//! # differentiable: false
+//! # feed: x0 [3] 1.0 -0.5 0.25
+//! # feed: x1 [] 0.75
+//! def f(x0, x1):
+//!     ...
+//! ```
+//!
+//! Feed values are written with Rust's shortest round-trip float
+//! formatting, so replaying a reproducer feeds bit-identical tensors.
+
+use crate::oracle::GenCase;
+use autograph_tensor::Tensor;
+
+/// Serialize a case (with the oracle that caught it) to `.pylite` text.
+pub fn to_pylite(case: &GenCase, oracle: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# seed: {}\n", case.seed));
+    out.push_str(&format!("# oracle: {oracle}\n"));
+    out.push_str(&format!("# lantern: {}\n", case.lantern_ok));
+    out.push_str(&format!("# differentiable: {}\n", case.differentiable));
+    for (name, t) in &case.feeds {
+        let dims: Vec<String> = t.shape().iter().map(|d| d.to_string()).collect();
+        let vals: Vec<String> = t.to_f32_vec().iter().map(|v| format!("{v:?}")).collect();
+        out.push_str(&format!(
+            "# feed: {name} [{}] {}\n",
+            dims.join(" "),
+            vals.join(" ")
+        ));
+    }
+    out.push_str(&case.src);
+    if !case.src.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a `.pylite` reproducer back into a case plus its oracle name.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed header line.
+pub fn from_pylite(text: &str) -> Result<(GenCase, String), String> {
+    let mut seed = 0u64;
+    let mut oracle = String::new();
+    let mut lantern_ok = false;
+    let mut differentiable = false;
+    let mut feeds: Vec<(String, Tensor)> = Vec::new();
+    let mut src_lines: Vec<&str> = Vec::new();
+    let mut in_header = true;
+
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if in_header {
+            if let Some(rest) = trimmed.strip_prefix('#') {
+                let rest = rest.trim();
+                if let Some(v) = rest.strip_prefix("seed:") {
+                    seed = v.trim().parse().map_err(|e| format!("seed: {e}"))?;
+                } else if let Some(v) = rest.strip_prefix("oracle:") {
+                    oracle = v.trim().to_string();
+                } else if let Some(v) = rest.strip_prefix("lantern:") {
+                    lantern_ok = v.trim() == "true";
+                } else if let Some(v) = rest.strip_prefix("differentiable:") {
+                    differentiable = v.trim() == "true";
+                } else if let Some(v) = rest.strip_prefix("feed:") {
+                    feeds.push(parse_feed(v.trim())?);
+                }
+                // unknown # lines are ordinary comments — ignore
+                continue;
+            }
+            if trimmed.is_empty() {
+                continue;
+            }
+            in_header = false;
+        }
+        src_lines.push(line);
+    }
+
+    if src_lines.is_empty() {
+        return Err("no source after header".to_string());
+    }
+    let mut src = src_lines.join("\n");
+    src.push('\n');
+    Ok((
+        GenCase {
+            seed,
+            src,
+            feeds,
+            lantern_ok,
+            differentiable,
+        },
+        oracle,
+    ))
+}
+
+/// `name [d0 d1 ...] v0 v1 ...`
+fn parse_feed(s: &str) -> Result<(String, Tensor), String> {
+    let (name, rest) = s
+        .split_once('[')
+        .ok_or_else(|| format!("feed without shape: {s:?}"))?;
+    let name = name.trim().to_string();
+    let (dims, vals) = rest
+        .split_once(']')
+        .ok_or_else(|| format!("feed with unterminated shape: {s:?}"))?;
+    let shape: Vec<usize> = dims
+        .split_whitespace()
+        .map(|d| d.parse().map_err(|e| format!("feed dim {d:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let data: Vec<f32> = vals
+        .split_whitespace()
+        .map(|v| v.parse().map_err(|e| format!("feed value {v:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let t = Tensor::from_vec(data, &shape).map_err(|e| format!("feed {name}: {e}"))?;
+    Ok((name, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let case = GenCase {
+            seed: 1234,
+            src: "def f(x0, x1):\n    return x0 * x1\n".to_string(),
+            feeds: vec![
+                (
+                    // 1/3 exercises shortest-round-trip float formatting
+                    "x0".to_string(),
+                    Tensor::from_vec(vec![1.5, -0.25, 1.0f32 / 3.0], &[3]).unwrap(),
+                ),
+                ("x1".to_string(), Tensor::from_vec(vec![0.75], &[]).unwrap()),
+            ],
+            lantern_ok: true,
+            differentiable: false,
+        };
+        let text = to_pylite(&case, "eager-vs-graph");
+        let (back, oracle) = from_pylite(&text).expect("parse back");
+        assert_eq!(oracle, "eager-vs-graph");
+        assert_eq!(back.seed, case.seed);
+        assert_eq!(back.src, case.src);
+        assert!(back.lantern_ok);
+        assert!(!back.differentiable);
+        assert_eq!(back.feeds.len(), 2);
+        for ((n1, t1), (n2, t2)) in case.feeds.iter().zip(&back.feeds) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.shape(), t2.shape());
+            let (a, b) = (t1.to_f32_vec(), t2.to_f32_vec());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "feed {n1} not bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn reproducer_is_loadable_pylite() {
+        let case = GenCase {
+            seed: 7,
+            src: "def f(x0):\n    return tf.tanh(x0)\n".to_string(),
+            feeds: vec![(
+                "x0".to_string(),
+                Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap(),
+            )],
+            lantern_ok: true,
+            differentiable: true,
+        };
+        let text = to_pylite(&case, "stage");
+        // the header is all comments: the file parses as a module
+        autograph_pylang::parse_module(&text).expect("reproducer parses as PyLite");
+    }
+
+    #[test]
+    fn malformed_headers_are_reported() {
+        assert!(from_pylite("# seed: nope\ndef f():\n    return 1.0\n").is_err());
+        assert!(from_pylite("# feed: x 3] 1.0\ndef f():\n    return 1.0\n").is_err());
+        assert!(from_pylite("# seed: 3\n").is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Shrinker demonstration (ISSUE 5 acceptance): with a deliberately
+//! injected kernel bug, the minimizer must reduce a failing generated
+//! program to ≤ 8 statements, and the emitted reproducer must replay.
+//!
+//! The "bug" is `error@graph/tanh:1` from `crates/faults`: every graph
+//! dispatch of the `tanh` kernel errors, while the eager site is
+//! untouched — so eager succeeds, the staged graph fails, and the
+//! `graph-run-t1` oracle fires. Fault state is process-global, so this
+//! file contains exactly one test function.
+
+use genprog::oracle::{check, check_src, OracleCfg, Outcome};
+use genprog::{generate, repro, shrink};
+
+/// Clears the installed fault plan even if the test panics.
+struct PlanGuard;
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        autograph::faults::clear();
+    }
+}
+
+#[test]
+fn injected_kernel_bug_shrinks_to_a_tiny_reproducer() {
+    // a generated program that actually stages a tanh kernel
+    let case = (0..200)
+        .map(generate)
+        .find(|c| c.src.contains("tf.tanh"))
+        .expect("some seed generates tf.tanh");
+
+    let cfg = OracleCfg::default();
+    assert!(
+        matches!(check(&case, &cfg), Outcome::Pass),
+        "case must pass before the fault is installed"
+    );
+
+    let _guard = PlanGuard;
+    autograph::faults::install(
+        autograph::faults::FaultPlan::parse("error@graph/tanh:1").expect("plan"),
+    );
+
+    // the injected bug turns the case into a failure on the graph path
+    let divergence = match check(&case, &cfg) {
+        Outcome::Fail(d) => d,
+        other => panic!("expected a failure under the injected fault, got {other:?}"),
+    };
+    assert_eq!(divergence.oracle, "graph-run-t1", "{}", divergence.detail);
+    assert!(
+        divergence.detail.contains("injected"),
+        "failure should be the injected fault: {}",
+        divergence.detail
+    );
+
+    // minimize while the same oracle keeps failing
+    let before = shrink::stmt_count(&case.src);
+    let r = shrink::minimize(
+        &case.src,
+        &case.feeds,
+        case.lantern_ok,
+        case.differentiable,
+        &cfg,
+        &divergence.oracle,
+    );
+    assert!(
+        r.stmt_count <= 8,
+        "minimizer left {} statements (started from {before}):\n{}",
+        r.stmt_count,
+        r.src
+    );
+    assert!(r.stmt_count >= 1, "a reproducer needs at least a return");
+    assert!(
+        r.src.contains("tf.tanh"),
+        "the faulty op must survive minimization:\n{}",
+        r.src
+    );
+
+    // the reproducer round-trips through the .pylite format and still
+    // fails the same oracle
+    let min_case = genprog::GenCase {
+        src: r.src.clone(),
+        ..case.clone()
+    };
+    let text = repro::to_pylite(&min_case, &divergence.oracle);
+    let (replayed, oracle) = repro::from_pylite(&text).expect("reproducer parses");
+    assert_eq!(oracle, "graph-run-t1");
+    assert_eq!(replayed.src, min_case.src);
+    match check_src(
+        &replayed.src,
+        &replayed.feeds,
+        replayed.lantern_ok,
+        replayed.differentiable,
+        &cfg,
+    ) {
+        Outcome::Fail(d) => assert_eq!(d.oracle, "graph-run-t1"),
+        other => panic!("reproducer must still fail under the fault, got {other:?}"),
+    }
+
+    // once the "bug" is fixed (fault cleared), the reproducer passes —
+    // the contract for committing it to tests/regressions/
+    autograph::faults::clear();
+    assert!(
+        matches!(
+            check_src(
+                &replayed.src,
+                &replayed.feeds,
+                replayed.lantern_ok,
+                replayed.differentiable,
+                &cfg,
+            ),
+            Outcome::Pass
+        ),
+        "reproducer must pass once the fault is gone"
+    );
+}

@@ -428,12 +428,34 @@ fn lantern_cond(i: &mut Interp, cond: Value, true_fn: Value, false_fn: Value) ->
     };
     stage_frame(i);
     let t = call(i, &true_fn, vec![])?;
-    let t_sexpr = i.to_lantern_sexpr(&t)?;
+    // a branch that modifies no variables returns None (matching the
+    // graph path's zero-output Cond); Lantern is pure, so a conditional
+    // with no outputs stages to nothing at all
+    let t_none = matches!(t, Value::None);
+    let t_sexpr = if t_none {
+        SExpr::Num(0.0)
+    } else {
+        i.to_lantern_sexpr(&t)?
+    };
     let t_sexpr = unframe(i, t_sexpr);
     stage_frame(i);
     let f = call(i, &false_fn, vec![])?;
-    let f_sexpr = i.to_lantern_sexpr(&f)?;
+    let f_none = matches!(f, Value::None);
+    let f_sexpr = if f_none {
+        SExpr::Num(0.0)
+    } else {
+        i.to_lantern_sexpr(&f)?
+    };
     let f_sexpr = unframe(i, f_sexpr);
+    if t_none != f_none {
+        return Err(RuntimeError::new(
+            "staged conditional branches must produce the same number of values; \
+             all code paths must initialize the same variables",
+        ));
+    }
+    if t_none {
+        return Ok(Value::None);
+    }
     Ok(Value::Lantern(Rc::new(SExpr::list(vec![
         SExpr::sym("if"),
         cond_sexpr,

@@ -206,12 +206,19 @@ fn reduce_op(
             if matches!(interp.stage, Stage::Graph(_)) {
                 return interp.graph_op(mk(axis), &[v]);
             }
-            // full reductions route through the registry so the gradient
-            // tape records them; axis reductions use the kernel directly
-            // (no eager gradient — matching the models' usage)
+            // differentiable reductions route through the registry so the
+            // gradient tape records them — full reductions as unary ops,
+            // axis reductions with the axis as a scalar-i64 input; the
+            // non-differentiable reductions use the kernel directly
             if axis.is_none() {
                 let et = interp.to_eager(&v)?;
                 return Ok(Value::Tensor(interp.eager.op(name, &[&et])?));
+            }
+            if let (Some(a), "reduce_sum" | "reduce_mean") = (axis, name) {
+                let et = interp.to_eager(&v)?;
+                let ax = autograph_eager::EagerTensor::from(Tensor::scalar_i64(a as i64));
+                let axis_name = format!("{name}_axis");
+                return Ok(Value::Tensor(interp.eager.op(&axis_name, &[&et, &ax])?));
             }
             let t = v.as_eager_tensor()?;
             let r = match mk(axis) {

@@ -38,6 +38,21 @@ for seed in 7 982451653; do
     AUTOGRAPH_CHAOS_SEED=$seed cargo test -q --test chaos
 done
 
+# generative differential fuzzing: a bounded, fully deterministic seed
+# range (same seeds -> same programs, bitwise) through every oracle —
+# eager vs graph at threads 1 and 4, Lantern where the op set allows,
+# bitwise determinism, restaging, and finite-difference gradient checks.
+# Any divergence minimizes and fails the build; triaged reproducers live
+# in tests/regressions/ and are replayed below.
+echo "== genprog fuzz (seeds 0..500, all oracles)"
+cargo run --release -q -p genprog -- fuzz --seeds 0..500
+
+# committed reproducers replay clean at threads 1 and 4 (the regressions
+# test also runs as part of the workspace suites above; this replay keeps
+# the fuzzer's own CLI path exercised)
+echo "== genprog replay (tests/regressions/)"
+cargo run --release -q -p genprog -- replay tests/regressions/*.pylite
+
 echo "== bench artifacts (BENCH_table1.json + BENCH_parallel.json + BENCH_report.json)"
 cargo run --release -q -p autograph-bench --bin table1 -- \
     --runs 5 --threads 4 \

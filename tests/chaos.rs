@@ -19,6 +19,10 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 mod corpus;
 use corpus::{programs, Program};
 
+#[path = "support/check.rs"]
+mod check;
+use check::assert_bitwise_eq;
+
 /// Serialize tests: `faults::install` is process-global state. Also
 /// silences the default panic hook for *injected* panics — they fire on
 /// pool worker threads, whose stderr libtest cannot capture, and every
@@ -107,20 +111,6 @@ fn run_at(p: &StagedProgram, threads: usize) -> Result<Vec<Tensor>, autograph::G
     let mut sess = Session::new(p.graph.clone());
     sess.set_threads(threads);
     sess.run(&p.feeds, &p.outputs)
-}
-
-fn assert_bitwise_eq(name: &str, what: &str, a: &[Tensor], b: &[Tensor]) {
-    assert_eq!(a.len(), b.len(), "{name}: {what}: arity");
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert_eq!(x.shape(), y.shape(), "{name}: {what}: output {i} shape");
-        for (u, w) in x.to_f32_vec().iter().zip(y.to_f32_vec()) {
-            assert_eq!(
-                u.to_bits(),
-                w.to_bits(),
-                "{name}: {what}: output {i}: {u} vs {w} must be bitwise equal"
-            );
-        }
-    }
 }
 
 /// Kernel errors and allocation failures at every graph kernel: every run

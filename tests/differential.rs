@@ -11,6 +11,10 @@ use autograph::prelude::*;
 mod corpus;
 use corpus::{programs, Program};
 
+#[path = "support/check.rs"]
+mod check;
+use check::{assert_bitwise_eq, assert_close};
+
 fn run_differential(p: &Program) {
     let mut rt = Runtime::load(p.src, true).unwrap_or_else(|e| panic!("{}: load: {e}", p.name));
 
@@ -53,28 +57,8 @@ fn run_differential(p: &Program) {
         .run(&p.feeds, &staged.outputs)
         .unwrap_or_else(|e| panic!("{}: graph t4: {e}", p.name));
 
-    assert_eq!(eager_flat.len(), out1.len(), "{}: arity", p.name);
-    for (i, (e, g)) in eager_flat.iter().zip(&out1).enumerate() {
-        assert_eq!(e.shape(), g.shape(), "{}: output {i} shape", p.name);
-        for (a, b) in e.to_f32_vec().iter().zip(g.to_f32_vec()) {
-            assert!(
-                (a - b).abs() <= 1e-6,
-                "{}: output {i}: eager {a} vs graph {b}",
-                p.name
-            );
-        }
-    }
-    for (i, (s, q)) in out1.iter().zip(&out4).enumerate() {
-        assert_eq!(s.shape(), q.shape(), "{}: output {i} shape (t4)", p.name);
-        for (a, b) in s.to_f32_vec().iter().zip(q.to_f32_vec()) {
-            assert_eq!(
-                a.to_bits(),
-                b.to_bits(),
-                "{}: output {i}: t1 {a} vs t4 {b} must be bitwise equal",
-                p.name
-            );
-        }
-    }
+    assert_close(p.name, "eager vs graph", &eager_flat, &out1);
+    assert_bitwise_eq(p.name, "graph t1 vs t4", &out1, &out4);
 
     if p.lantern {
         let lantern_args: Vec<LanternArg> = p
@@ -96,21 +80,7 @@ fn run_differential(p: &Program) {
                 .collect(),
             single => vec![single.as_tensor().expect("tensor result").clone()],
         };
-        assert_eq!(
-            lantern_flat.len(),
-            eager_flat.len(),
-            "{}: lantern arity",
-            p.name
-        );
-        for (i, (e, l)) in eager_flat.iter().zip(&lantern_flat).enumerate() {
-            for (a, b) in e.to_f32_vec().iter().zip(l.to_f32_vec()) {
-                assert!(
-                    (a - b).abs() <= 1e-6,
-                    "{}: output {i}: eager {a} vs lantern {b}",
-                    p.name
-                );
-            }
-        }
+        assert_close(p.name, "eager vs lantern", &eager_flat, &lantern_flat);
     }
 }
 

@@ -1,0 +1,79 @@
+//! Replay of committed fuzz reproducers.
+//!
+//! Every file in `tests/regressions/*.pylite` is a minimized case the
+//! fuzzer once caught (its header records the seed and the oracle that
+//! fired). The bug behind each case is fixed, so replaying the full
+//! oracle pipeline — eager, graph at threads 1 and 4, Lantern where
+//! flagged, bitwise determinism — must pass. A failure here means a
+//! previously-fixed divergence regressed.
+
+use genprog::oracle::{check, OracleCfg, Outcome};
+use genprog::repro;
+
+fn regression_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("read_dir entry").path();
+            (path.extension().is_some_and(|x| x == "pylite")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn committed_reproducers_replay_clean_at_threads_1_and_4() {
+    let files = regression_files();
+    assert!(
+        !files.is_empty(),
+        "tests/regressions/ must hold at least one reproducer"
+    );
+    let cfg = OracleCfg {
+        threads: vec![1, 4],
+        ..OracleCfg::default()
+    };
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (case, orig_oracle) = repro::from_pylite(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed reproducer: {e}", path.display()));
+        match check(&case, &cfg) {
+            Outcome::Pass => {}
+            Outcome::NonFinite => panic!(
+                "{}: reproducer went non-finite — its feeds no longer exercise the case",
+                path.display()
+            ),
+            Outcome::Fail(d) => panic!(
+                "{}: regressed! originally failed [{orig_oracle}], now fails [{}]: {}",
+                path.display(),
+                d.oracle,
+                d.detail
+            ),
+        }
+    }
+}
+
+#[test]
+fn reproducer_headers_are_well_formed() {
+    for path in regression_files() {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (case, oracle) =
+            repro::from_pylite(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            !oracle.is_empty(),
+            "{}: missing oracle header",
+            path.display()
+        );
+        assert!(
+            !case.feeds.is_empty(),
+            "{}: reproducer has no feeds",
+            path.display()
+        );
+        // the file must also be loadable PyLite as-is (header is comments)
+        autograph::pylang::parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: not valid PyLite: {e}", path.display()));
+    }
+}

@@ -1,0 +1,42 @@
+//! Shared tensor-comparison assertions for the integration suites
+//! (`tests/differential.rs`, `tests/chaos.rs`, `tests/gradient_check.rs`).
+//! Include with `#[path = "support/check.rs"]`.
+//!
+//! The comparison semantics live in `genprog::compare` — the same code
+//! the fuzz oracles use — so hand-written tests and generated tests can
+//! never drift apart on what "equal" means. These wrappers only add the
+//! panic-with-test-name convention the suites want.
+#![allow(dead_code, unused_imports)]
+
+use autograph::prelude::*;
+pub use genprog::compare::{all_finite, bitwise, close, DEFAULT_TOL};
+
+/// Outputs agree to the repo-wide 1e-6 absolute tolerance
+/// (cross-backend contract; NaN == NaN, identical bits always pass).
+pub fn assert_close(name: &str, what: &str, a: &[Tensor], b: &[Tensor]) {
+    if let Err(e) = close(what, a, b, DEFAULT_TOL) {
+        panic!("{name}: {e}");
+    }
+}
+
+/// Outputs are bitwise identical (same-backend determinism contract).
+pub fn assert_bitwise_eq(name: &str, what: &str, a: &[Tensor], b: &[Tensor]) {
+    if let Err(e) = bitwise(what, a, b) {
+        panic!("{name}: {e}");
+    }
+}
+
+/// Two f32 slices agree to a *relative* tolerance scaled by the larger
+/// magnitude (floored at 1.0) — the gradient-check convention, where
+/// finite differences set the achievable precision.
+pub fn assert_close_rel(name: &str, what: &str, a: &[f32], b: &[f32], rel: f32) {
+    assert_eq!(a.len(), b.len(), "{name}: {what}: arity");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let tol = rel * x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() <= tol,
+            "{name}: {what}[{i}]: {x} vs {y} (|diff| {} > tol {tol})",
+            (x - y).abs()
+        );
+    }
+}

@@ -220,6 +220,55 @@ pub fn programs() -> Vec<Program> {
             lantern: false,
         },
         Program {
+            name: "nested_while_break_continue",
+            // break and continue at different nesting depths: the outer
+            // loop skips even iterations, the inner loop breaks early
+            src: "def f(x):\n    i = 0\n    total = x * 0.0\n    while i < 6:\n        i = i + 1\n        if i % 2 == 0:\n            continue\n        j = 0\n        while j < 5:\n            j = j + 1\n            if j >= 3:\n                break\n            total = total + x * float(i + j)\n    return total\n",
+            feeds: vec![("x", v(vec![1.0, 10.0], &[2]))],
+            lantern: false,
+        },
+        Program {
+            name: "ternary_in_loop_condition",
+            // a host ternary inside the while condition itself
+            src: "def f(x):\n    i = 0\n    while (i if i % 3 != 0 else i + 1) < 7:\n        x = x * 1.05 + 0.01\n        i = i + 1\n    return x\n",
+            feeds: vec![("x", v(vec![1.0, -1.0], &[2]))],
+            lantern: false,
+        },
+        Program {
+            name: "ternary_staged_select",
+            // tensor-condition ternary: stages to a Select, no branching
+            src: "def f(x):\n    y = (x * 2.0 if tf.reduce_sum(x) > 0.0 else x - 1.0)\n    return y + (0.5 if tf.reduce_mean(y) < 0.0 else 1.5)\n",
+            feeds: vec![("x", v(vec![0.5, -0.25], &[2]))],
+            lantern: true,
+        },
+        Program {
+            name: "list_append_pop_in_cond",
+            // list mutation under host control flow inside a staged loop:
+            // every row is appended, every third accumulated prefix is
+            // popped, squashed, and re-appended
+            src: "def f(xs):\n    acc = []\n    ag.set_element_type(acc, tf.float32)\n    n = 0\n    for row in xs:\n        acc.append(tf.tanh(row))\n        n = n + 1\n        if n % 3 == 0:\n            last = acc.pop()\n            acc.append(tf.sigmoid(last))\n    return ag.stack(acc)\n",
+            feeds: vec![(
+                "xs",
+                v(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[4, 2]),
+            )],
+            lantern: false,
+        },
+        Program {
+            name: "early_return_both_branches",
+            // both arms of a staged (tensor-condition) if return: the
+            // converter must merge two early returns into one output
+            src: "def f(x):\n    if tf.reduce_sum(x) > 0.0:\n        return x * 2.0\n    else:\n        return x - 1.0\n",
+            feeds: vec![("x", v(vec![-0.5, -0.25], &[2]))],
+            lantern: true,
+        },
+        Program {
+            name: "logical_ops_staged_cond",
+            // and/or/not over tensor comparisons in a staged condition
+            src: "def f(x):\n    s = tf.reduce_sum(x)\n    m = tf.reduce_mean(x)\n    if s > 0.0 and not (m > 2.0):\n        x = x * 2.0\n    if s < -1.0 or m > 0.0:\n        x = x + 0.25\n    return x\n",
+            feeds: vec![("x", v(vec![1.0, 0.5], &[2]))],
+            lantern: true,
+        },
+        Program {
             name: "accumulate_scalars_in_loop",
             src: "def f(x):\n    s = 0.0\n    i = 0\n    while i < 10:\n        s = s + float(i) * 0.5\n        i = i + 1\n    return x * s\n",
             feeds: vec![("x", v(vec![1.0, 2.0], &[2]))],
