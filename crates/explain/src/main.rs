@@ -1,0 +1,150 @@
+//! `autograph-explain` — attribute runtime cost back to PyLite source.
+//!
+//! ```text
+//! autograph-explain FILE --feed x=vec:1,2,3 [--func f] [--threads N]
+//!                   [--runs N] [--min-coverage PCT] [--dot PATH] [--plan]
+//! ```
+//!
+//! Prints the annotated source and fallback report; `--plan` adds the
+//! plan dump, `--dot PATH` writes Graphviz. Exits 1 when time-based
+//! attribution falls below `--min-coverage`, 2 on usage errors.
+
+use autograph_explain::{explain_source, parse_feed_spec, ExplainOptions};
+use autograph_tensor::Tensor;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: autograph-explain FILE --feed name=SPEC... [--func f] \
+[--threads N] [--runs N] [--min-coverage PCT] [--dot PATH] [--plan]
+  SPEC: scalar:V | int:V | vec:a,b,c | mat:RxC:v1,v2,...";
+
+struct Cli {
+    file: String,
+    feeds: Vec<(String, Tensor)>,
+    opts: ExplainOptions,
+    min_coverage: Option<f64>,
+    dot: Option<String>,
+    plan: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut file = None;
+    let mut feeds = Vec::new();
+    let mut opts = ExplainOptions::default();
+    let mut min_coverage = None;
+    let mut dot = None;
+    let mut plan = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--feed" => {
+                let spec = take("--feed")?;
+                let (name, tspec) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--feed expects name=SPEC, got '{spec}'"))?;
+                feeds.push((name.to_string(), parse_feed_spec(tspec)?));
+            }
+            "--func" => opts.func = take("--func")?,
+            "--threads" => {
+                opts.threads = take("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+            }
+            "--runs" => {
+                opts.runs = take("--runs")?
+                    .parse()
+                    .map_err(|_| "--runs expects a positive integer".to_string())?;
+            }
+            "--min-coverage" => {
+                let pct: f64 = take("--min-coverage")?
+                    .parse()
+                    .map_err(|_| "--min-coverage expects a percentage".to_string())?;
+                min_coverage = Some(pct / 100.0);
+            }
+            "--dot" => dot = Some(take("--dot")?),
+            "--plan" => plan = true,
+            "-h" | "--help" => return Err(String::new()),
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Cli {
+        file: file.ok_or_else(|| "missing FILE".to_string())?,
+        feeds,
+        opts,
+        min_coverage,
+        dot,
+        plan,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", cli.file);
+            return ExitCode::from(2);
+        }
+    };
+
+    let ex = match explain_source(&source, &cli.feeds, &cli.opts) {
+        Ok(ex) => ex,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", ex.summary());
+    println!();
+    print!("{}", ex.annotated_source());
+    println!();
+    print!("{}", ex.fallback_report());
+    if cli.plan {
+        println!();
+        print!("{}", ex.plan_text());
+    }
+    if let Some(path) = &cli.dot {
+        if let Err(e) = std::fs::write(path, ex.plan_dot()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote plan DOT to {path}");
+    }
+
+    if let Some(min) = cli.min_coverage {
+        let frac = ex.coverage.time_fraction();
+        if frac < min {
+            eprintln!(
+                "FAIL: attribution {:.1}% below required {:.1}%",
+                frac * 100.0,
+                min * 100.0
+            );
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "attribution gate: {:.1}% >= {:.1}% required",
+            frac * 100.0,
+            min * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,7 @@
 //! | `graph-bitwise` | all thread counts agree **bitwise** |
 //! | `rerun-determinism` | running the same session twice is bitwise-stable |
 //! | `restage-determinism` | staging twice gives bitwise-identical results |
+//! | `explain` / `explain-attribution` | the explain layer renders and ≥95% of executed nodes carry source spans (gated) |
 //! | `eager-vs-lantern` | the Lantern backend agrees to 1e-6 (gated) |
 //! | `fd-grad` | tape gradient matches central finite differences (gated) |
 //! | `hang` | the whole pipeline finished inside the watchdog budget |
@@ -62,6 +63,9 @@ pub struct OracleCfg {
     pub check_grad: bool,
     /// Stage a second time and require bitwise-identical results.
     pub check_restage: bool,
+    /// Run the explain layer and require well-formed output with ≥95%
+    /// node-to-span attribution.
+    pub check_explain: bool,
     /// Safety net for staged loops (generated loops terminate by
     /// construction; shrunk mutants may not).
     pub max_while_iters: u64,
@@ -75,6 +79,7 @@ impl Default for OracleCfg {
             check_lantern: true,
             check_grad: true,
             check_restage: true,
+            check_explain: true,
             max_while_iters: 100_000,
         }
     }
@@ -276,7 +281,40 @@ pub fn check_src(
         }
     }
 
-    // 9. Lantern (gated on the generator's op-support flag)
+    // 9. explain layer: the provenance/attribution pipeline must accept
+    // every program the differential pipeline accepts, produce parseable
+    // DOT, and attribute ≥95% of executed nodes to source spans
+    if cfg.check_explain {
+        let opts = autograph_explain::ExplainOptions {
+            func: "f".to_string(),
+            threads: *cfg.threads.first().unwrap_or(&1),
+            runs: 1,
+        };
+        match autograph_explain::explain_source(src, feeds, &opts) {
+            Ok(ex) => {
+                if ex.staged.is_some() {
+                    if ex.coverage.node_fraction() < 0.95 {
+                        return fail(
+                            "explain-attribution",
+                            format!(
+                                "only {}/{} executed nodes carry source spans",
+                                ex.coverage.attributed_nodes, ex.coverage.total_nodes
+                            ),
+                        );
+                    }
+                    if !ex.plan_dot().starts_with("digraph") {
+                        return fail("explain", "plan DOT is not a digraph");
+                    }
+                }
+                if ex.annotated_source().is_empty() || ex.summary().is_empty() {
+                    return fail("explain", "empty render");
+                }
+            }
+            Err(e) => return fail("explain", e),
+        }
+    }
+
+    // 10. Lantern (gated on the generator's op-support flag)
     if lantern_ok && cfg.check_lantern {
         let lantern_args: Vec<LanternArg> = feeds
             .iter()
@@ -306,7 +344,7 @@ pub fn check_src(
         }
     }
 
-    // 10. finite-difference gradient of a scalarized loss w.r.t. the
+    // 11. finite-difference gradient of a scalarized loss w.r.t. the
     // first parameter, vs the eager tape
     if differentiable && cfg.check_grad {
         if let Outcome::Fail(d) = check_gradient(src, feeds, &eager_flat, cfg) {

@@ -358,6 +358,7 @@ pub fn minimize(
         check_lantern: cfg.check_lantern && oracle == "eager-vs-lantern",
         check_grad: cfg.check_grad && oracle == "fd-grad",
         check_restage: cfg.check_restage && oracle == "restage-determinism",
+        check_explain: cfg.check_explain && oracle.starts_with("explain"),
         ..cfg.clone()
     };
     let reproduces = |candidate: &Module| -> bool {

@@ -48,12 +48,9 @@ impl GraphBuilder {
         name.push_str(op.mnemonic());
         name.push('_');
         name.push_str(&self.counter.to_string());
-        self.graph.nodes.push(Node {
-            op,
-            inputs,
-            name,
-            span: self.current_span,
-        });
+        self.graph
+            .nodes
+            .push(Node::staged(op, inputs, name, self.current_span));
         self.graph.nodes.len() - 1
     }
 

@@ -425,6 +425,40 @@ impl OpKind {
     }
 }
 
+/// One pre-rewrite node consumed by an optimizer rewrite: its id in the
+/// graph the pass read, plus the name/span that stay meaningful after the
+/// id is remapped away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvSource {
+    /// Node id in the pre-pass graph.
+    pub node: NodeId,
+    /// The node's staged name.
+    pub name: String,
+    /// The node's user-source span.
+    pub span: Span,
+}
+
+/// One optimizer rewrite in a node's provenance chain.
+///
+/// The recording contract for passes (see DESIGN.md "Provenance"): a pass
+/// that rewrites a node in place *appends* a record to that node's chain;
+/// a pass that merges node B into node A appends a record to A naming B
+/// as a source; a pass that removes a node outright reports it in the
+/// run's [`crate::optimize::OptTrace`] instead (the node no longer exists
+/// to carry a chain). Chains are ordered oldest-first and must be
+/// deterministic for a given input graph (restaging reproduces them
+/// bitwise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassRecord {
+    /// The pass that performed the rewrite (e.g. `"const_fold"`, `"cse"`).
+    pub pass: &'static str,
+    /// What the rewrite did (e.g. `"folded-inputs"`,
+    /// `"absorbed-duplicate"`).
+    pub action: &'static str,
+    /// The pre-rewrite nodes the rewrite consumed.
+    pub sources: Vec<ProvSource>,
+}
+
 /// A graph node: an operation applied to the values of its inputs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Node {
@@ -437,6 +471,51 @@ pub struct Node {
     /// The user-source location that staged this node (for Appendix B
     /// error rewriting).
     pub span: Span,
+    /// Rewrite lineage: one record per optimizer pass that created,
+    /// fused, or rewrote this node, oldest first. Empty for nodes that
+    /// staged directly and were never rewritten.
+    pub prov: Vec<PassRecord>,
+}
+
+impl Node {
+    /// A node with an empty provenance chain (the normal staging path).
+    pub fn staged(op: OpKind, inputs: Vec<NodeId>, name: String, span: Span) -> Node {
+        Node {
+            op,
+            inputs,
+            name,
+            span,
+            prov: Vec::new(),
+        }
+    }
+
+    /// Render the rewrite lineage compactly, e.g.
+    /// `const_fold(folded-inputs: c_1@1:5, c_2@1:9); cse(absorbed-duplicate: tanh_4@3:4)`.
+    /// Empty string for never-rewritten nodes.
+    pub fn lineage(&self) -> String {
+        let mut out = String::new();
+        for (i, rec) in self.prov.iter().enumerate() {
+            if i > 0 {
+                out.push_str("; ");
+            }
+            out.push_str(rec.pass);
+            out.push('(');
+            out.push_str(rec.action);
+            if !rec.sources.is_empty() {
+                out.push_str(": ");
+                for (j, s) in rec.sources.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&s.name);
+                    out.push('@');
+                    out.push_str(&s.span.to_string());
+                }
+            }
+            out.push(')');
+        }
+        out
+    }
 }
 
 /// A dataflow graph.
@@ -483,11 +562,22 @@ impl Graph {
         n
     }
 
-    /// Render as Graphviz dot (top level only).
+    /// Render as Graphviz dot (top level only). Each node label carries
+    /// its staged name, op + originating source span, and — when the
+    /// graph has been optimized — its rewrite lineage.
     pub fn to_dot(&self) -> String {
+        fn dot_esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
         let mut s = String::from("digraph g {\n  rankdir=LR;\n");
         for (i, n) in self.nodes.iter().enumerate() {
-            s.push_str(&format!("  n{} [label=\"{}\"];\n", i, n.name));
+            let mut label = format!("{}\\n{} @ {}", dot_esc(&n.name), n.op.mnemonic(), n.span);
+            let lineage = n.lineage();
+            if !lineage.is_empty() {
+                label.push_str("\\n");
+                label.push_str(&dot_esc(&lineage));
+            }
+            s.push_str(&format!("  n{i} [label=\"{label}\"];\n"));
         }
         for (i, n) in self.nodes.iter().enumerate() {
             for inp in &n.inputs {
@@ -552,6 +642,7 @@ mod tests {
             inputs: vec![],
             name: "p".into(),
             span: Span::synthetic(),
+            prov: vec![],
         });
         let sub = SubGraph {
             graph: inner,
@@ -567,6 +658,7 @@ mod tests {
             inputs: vec![],
             name: "cond".into(),
             span: Span::synthetic(),
+            prov: vec![],
         });
         assert_eq!(g.len(), 1);
         assert_eq!(g.deep_len(), 3);
@@ -580,6 +672,7 @@ mod tests {
             inputs: vec![],
             name: "c0".into(),
             span: Span::synthetic(),
+            prov: vec![],
         });
         assert!(g.to_dot().contains("c0"));
     }

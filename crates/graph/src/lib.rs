@@ -54,7 +54,8 @@ pub mod shapes;
 
 pub use builder::GraphBuilder;
 pub use error::{ErrorKind, GraphError};
-pub use ir::{Graph, NodeId, OpKind, SubGraph};
+pub use ir::{Graph, NodeId, OpKind, PassRecord, ProvSource, SubGraph};
+pub use optimize::{ElimRecord, OptTrace};
 pub use report::{CriticalPath, MemReport, NodeCost, RunReport, SchedReport, WorkerReport};
 pub use run::{CancelToken, RunOptions};
 pub use session::Session;

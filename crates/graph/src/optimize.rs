@@ -14,9 +14,10 @@
 //! nodes. Subgraphs (`Cond`/`While` bodies) are optimized recursively with
 //! their own outputs protected.
 
-use crate::ir::{GValue, Graph, Node, NodeId, OpKind, SubGraph};
+use crate::ir::{GValue, Graph, Node, NodeId, OpKind, PassRecord, ProvSource, SubGraph};
 use crate::ops;
 use autograph_obs as obs;
+use autograph_pylang::Span;
 use std::collections::HashMap;
 
 /// Statistics from one optimization run (used by the ablation bench).
@@ -30,14 +31,53 @@ pub struct OptStats {
     pub eliminated: usize,
 }
 
+/// A node removed outright by an optimization pass. Surviving nodes carry
+/// their own rewrite lineage ([`crate::ir::PassRecord`]); removed ones no
+/// longer exist to carry anything, so their record lives here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElimRecord {
+    /// The pass that removed the node (`"cse"`, `"dce"`).
+    pub pass: &'static str,
+    /// The removed node's staged name.
+    pub name: String,
+    /// Its op mnemonic.
+    pub op: &'static str,
+    /// Its user-source span.
+    pub span: Span,
+    /// For CSE merges: the surviving duplicate the users were remapped
+    /// to. `None` for plain dead-code removal.
+    pub merged_into: Option<String>,
+}
+
+/// Everything the optimizer removed, including from nested subgraphs —
+/// the complement of the per-node provenance chains.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptTrace {
+    /// Removed nodes, in pass-then-graph order (deterministic).
+    pub eliminated: Vec<ElimRecord>,
+}
+
 /// Run all passes. Returns `(optimized graph, remapped protected ids,
-/// stats)`.
+/// stats)`. Use [`optimize_traced`] to also receive the elimination
+/// trace.
 pub fn optimize(graph: &Graph, protected: &[NodeId]) -> (Graph, Vec<NodeId>, OptStats) {
+    let (g, p, stats, _) = optimize_traced(graph, protected);
+    (g, p, stats)
+}
+
+/// Run all passes, additionally returning an [`OptTrace`] recording every
+/// node the passes removed. Surviving nodes carry their rewrite history
+/// in [`Node::prov`].
+pub fn optimize_traced(
+    graph: &Graph,
+    protected: &[NodeId],
+) -> (Graph, Vec<NodeId>, OptStats, OptTrace) {
     let mut stats = OptStats::default();
+    let mut trace = OptTrace::default();
     let nodes_in = graph.nodes.len();
     let (g, remap) = {
         let _span = obs::span("optimize", "fold_and_cse");
-        fold_and_cse(graph, &mut stats)
+        fold_and_cse(graph, &mut stats, &mut trace)
     };
     if obs::enabled() {
         obs::observe(
@@ -50,7 +90,7 @@ pub fn optimize(graph: &Graph, protected: &[NodeId]) -> (Graph, Vec<NodeId>, Opt
     let nodes_mid = g.nodes.len();
     let (g, remap2) = {
         let _span = obs::span("optimize", "dce");
-        dce(&g, &protected_mid, &mut stats)
+        dce(&g, &protected_mid, &mut stats, &mut trace)
     };
     if obs::enabled() {
         obs::observe(
@@ -63,11 +103,23 @@ pub fn optimize(graph: &Graph, protected: &[NodeId]) -> (Graph, Vec<NodeId>, Opt
         .iter()
         .map(|&p| remap2[p].expect("protected nodes survive DCE"))
         .collect();
-    (g, protected_out, stats)
+    (g, protected_out, stats, trace)
+}
+
+/// The provenance sources of a pre-pass node set (by id, in the graph the
+/// pass is reading).
+fn sources_of(graph: &Graph, ids: &[NodeId]) -> Vec<ProvSource> {
+    ids.iter()
+        .map(|&i| ProvSource {
+            node: i,
+            name: graph.nodes[i].name.clone(),
+            span: graph.nodes[i].span,
+        })
+        .collect()
 }
 
 /// Constant folding + CSE in one forward walk.
-fn fold_and_cse(graph: &Graph, stats: &mut OptStats) -> (Graph, Vec<NodeId>) {
+fn fold_and_cse(graph: &Graph, stats: &mut OptStats, trace: &mut OptTrace) -> (Graph, Vec<NodeId>) {
     let mut out = Graph {
         nodes: Vec::with_capacity(graph.nodes.len()),
         variables: graph.variables.clone(),
@@ -77,25 +129,46 @@ fn fold_and_cse(graph: &Graph, stats: &mut OptStats) -> (Graph, Vec<NodeId>) {
     // so key on a rendered form for hashing.
     let mut seen: HashMap<String, NodeId> = HashMap::new();
 
-    for node in &graph.nodes {
+    for (node_id, node) in graph.nodes.iter().enumerate() {
         let new_inputs: Vec<NodeId> = node.inputs.iter().map(|&i| remap[i]).collect();
 
         // Recursively optimize subgraphs.
         let op = match &node.op {
             OpKind::Cond { then_g, else_g } => OpKind::Cond {
-                then_g: optimize_sub(then_g, stats),
-                else_g: optimize_sub(else_g, stats),
+                then_g: optimize_sub(then_g, stats, trace),
+                else_g: optimize_sub(else_g, stats, trace),
             },
             OpKind::While {
                 cond_g,
                 body_g,
                 max_iters,
             } => OpKind::While {
-                cond_g: optimize_sub(cond_g, stats),
-                body_g: optimize_sub(body_g, stats),
+                cond_g: optimize_sub(cond_g, stats, trace),
+                body_g: optimize_sub(body_g, stats, trace),
                 max_iters: *max_iters,
             },
             other => other.clone(),
+        };
+
+        // Records a CSE merge: the survivor gains a lineage entry naming
+        // the absorbed node; the absorbed node goes to the trace.
+        let mut merge_into = |out: &mut Graph, existing: NodeId, node: &Node| {
+            out.nodes[existing].prov.push(PassRecord {
+                pass: "cse",
+                action: "absorbed-duplicate",
+                sources: vec![ProvSource {
+                    node: node_id,
+                    name: node.name.clone(),
+                    span: node.span,
+                }],
+            });
+            trace.eliminated.push(ElimRecord {
+                pass: "cse",
+                name: node.name.clone(),
+                op: node.op.mnemonic(),
+                span: node.span,
+                merged_into: Some(out.nodes[existing].name.clone()),
+            });
         };
 
         // Constant folding: all-const inputs to a pure op.
@@ -119,14 +192,22 @@ fn fold_and_cse(graph: &Graph, stats: &mut OptStats) -> (Graph, Vec<NodeId>) {
                 let key = cse_key(&folded, &[]);
                 if let Some(&existing) = seen.get(&key) {
                     stats.deduped += 1;
+                    merge_into(&mut out, existing, node);
                     remap.push(existing);
                     continue;
                 }
+                let mut prov = node.prov.clone();
+                prov.push(PassRecord {
+                    pass: "const_fold",
+                    action: "folded-inputs",
+                    sources: sources_of(graph, &node.inputs),
+                });
                 out.nodes.push(Node {
                     op: folded.clone(),
                     inputs: vec![],
                     name: node.name.clone(),
                     span: node.span,
+                    prov,
                 });
                 let id = out.nodes.len() - 1;
                 seen.insert(key, id);
@@ -140,6 +221,7 @@ fn fold_and_cse(graph: &Graph, stats: &mut OptStats) -> (Graph, Vec<NodeId>) {
             let key = cse_key(&op, &new_inputs);
             if let Some(&existing) = seen.get(&key) {
                 stats.deduped += 1;
+                merge_into(&mut out, existing, node);
                 remap.push(existing);
                 continue;
             }
@@ -148,6 +230,7 @@ fn fold_and_cse(graph: &Graph, stats: &mut OptStats) -> (Graph, Vec<NodeId>) {
                 inputs: new_inputs.clone(),
                 name: node.name.clone(),
                 span: node.span,
+                prov: node.prov.clone(),
             });
             let id = out.nodes.len() - 1;
             seen.insert(key, id);
@@ -158,6 +241,7 @@ fn fold_and_cse(graph: &Graph, stats: &mut OptStats) -> (Graph, Vec<NodeId>) {
                 inputs: new_inputs,
                 name: node.name.clone(),
                 span: node.span,
+                prov: node.prov.clone(),
             });
             remap.push(out.nodes.len() - 1);
         }
@@ -165,11 +249,12 @@ fn fold_and_cse(graph: &Graph, stats: &mut OptStats) -> (Graph, Vec<NodeId>) {
     (out, remap)
 }
 
-fn optimize_sub(sub: &SubGraph, stats: &mut OptStats) -> SubGraph {
-    let (g, outputs, s) = optimize(&sub.graph, &sub.outputs);
+fn optimize_sub(sub: &SubGraph, stats: &mut OptStats, trace: &mut OptTrace) -> SubGraph {
+    let (g, outputs, s, sub_trace) = optimize_traced(&sub.graph, &sub.outputs);
     stats.folded += s.folded;
     stats.deduped += s.deduped;
     stats.eliminated += s.eliminated;
+    trace.eliminated.extend(sub_trace.eliminated);
     SubGraph {
         graph: g,
         num_params: sub.num_params,
@@ -191,7 +276,12 @@ fn cse_key(op: &OpKind, inputs: &[NodeId]) -> String {
 }
 
 /// Dead-code elimination: keep only nodes reachable from `protected`.
-fn dce(graph: &Graph, protected: &[NodeId], stats: &mut OptStats) -> (Graph, Vec<Option<NodeId>>) {
+fn dce(
+    graph: &Graph,
+    protected: &[NodeId],
+    stats: &mut OptStats,
+    trace: &mut OptTrace,
+) -> (Graph, Vec<Option<NodeId>>) {
     let mut needed = vec![false; graph.nodes.len()];
     let mut stack: Vec<NodeId> = protected.to_vec();
     while let Some(n) = stack.pop() {
@@ -209,6 +299,13 @@ fn dce(graph: &Graph, protected: &[NodeId], stats: &mut OptStats) -> (Graph, Vec
     for (i, node) in graph.nodes.iter().enumerate() {
         if !needed[i] {
             stats.eliminated += 1;
+            trace.eliminated.push(ElimRecord {
+                pass: "dce",
+                name: node.name.clone(),
+                op: node.op.mnemonic(),
+                span: node.span,
+                merged_into: None,
+            });
             continue;
         }
         let inputs = node
@@ -221,6 +318,7 @@ fn dce(graph: &Graph, protected: &[NodeId], stats: &mut OptStats) -> (Graph, Vec
             inputs,
             name: node.name.clone(),
             span: node.span,
+            prov: node.prov.clone(),
         });
         remap[i] = Some(out.nodes.len() - 1);
     }
@@ -337,6 +435,84 @@ mod tests {
             .run(&[("x", Tensor::scalar_f32(2.0))], &[keep[0]])
             .unwrap();
         assert_eq!(out[0].scalar_value_f32().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn provenance_records_fold_cse_and_dce() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let a = b.scalar(2.0);
+        let c = b.scalar(3.0);
+        let folded = b.add_op(a, c); // const-folds to 5.0
+        let t1 = b.tanh(x);
+        let t2 = b.tanh(x); // CSE-merges into t1
+        let dead = b.sigmoid(x); // DCE'd
+        let y = {
+            let s = b.add_op(t1, t2);
+            b.mul(s, folded)
+        };
+        let _ = dead;
+        let g = b.finish();
+        let (og, keep, _, trace) = optimize_traced(&g, &[y]);
+
+        // the folded node carries a const_fold record naming its inputs
+        let fold_node = og
+            .nodes
+            .iter()
+            .find(|n| n.prov.iter().any(|r| r.pass == "const_fold"))
+            .expect("folded node records its pass");
+        let rec = &fold_node.prov[0];
+        assert_eq!(rec.action, "folded-inputs");
+        assert_eq!(rec.sources.len(), 2);
+        assert!(fold_node.lineage().contains("const_fold(folded-inputs:"));
+
+        // the surviving tanh absorbed its duplicate
+        let survivor = og
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, OpKind::Tanh))
+            .expect("one tanh survives");
+        assert!(survivor
+            .prov
+            .iter()
+            .any(|r| r.pass == "cse" && r.action == "absorbed-duplicate"));
+
+        // the trace covers both removal kinds
+        assert!(trace
+            .eliminated
+            .iter()
+            .any(|e| e.pass == "cse" && e.op == "tanh" && e.merged_into.is_some()));
+        assert!(trace
+            .eliminated
+            .iter()
+            .any(|e| e.pass == "dce" && e.op == "sigmoid" && e.merged_into.is_none()));
+
+        // the optimized graph still computes the right thing
+        let mut sess = Session::new(og);
+        let out = sess
+            .run(&[("x", Tensor::scalar_f32(1.0))], &[keep[0]])
+            .unwrap();
+        assert!((out[0].scalar_value_f32().unwrap() - 2.0 * 1f32.tanh() * 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn provenance_is_deterministic_across_reruns() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let a = b.scalar(1.0);
+        let c = b.scalar(1.0);
+        let s = b.add_op(a, c);
+        let t1 = b.tanh(x);
+        let t2 = b.tanh(x);
+        let u = b.add_op(t1, t2);
+        let y = b.mul(u, s);
+        let g = b.finish();
+        let (g1, k1, _, t1_) = optimize_traced(&g, &[y]);
+        let (g2, k2, _, t2_) = optimize_traced(&g, &[y]);
+        assert_eq!(g1, g2);
+        assert_eq!(k1, k2);
+        assert_eq!(t1_, t2_);
+        assert_eq!(format!("{g1:?}{t1_:?}"), format!("{g2:?}{t2_:?}"));
     }
 
     #[test]

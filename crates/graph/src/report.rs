@@ -20,6 +20,7 @@
 //! concurrent reporting sessions see each other's traffic.
 
 use crate::ir::{Graph, NodeId};
+use autograph_pylang::Span;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-node cost accumulators for one run, indexed by `NodeId`.
@@ -116,6 +117,10 @@ pub struct NodeCost {
     pub name: String,
     /// Op mnemonic.
     pub op: &'static str,
+    /// The user-source span that staged the node (synthetic when the
+    /// node has no source origin), threading the provenance chain into
+    /// cost data so time folds back onto source lines.
+    pub span: Span,
     /// Accumulated self-time (a `While` node includes its subgraphs).
     pub self_ns: u64,
     /// Bytes attributed to this node via the thread-local ledger.
@@ -192,6 +197,7 @@ pub(crate) fn build(inp: ReportInputs<'_>) -> RunReport {
         node: id,
         name: inp.graph.nodes[id].name.clone(),
         op: inp.graph.nodes[id].op.mnemonic(),
+        span: inp.graph.nodes[id].span,
         self_ns: self_ns[id],
         alloc_bytes: inp.collector.alloc_bytes[id].load(Ordering::Relaxed),
         evals: inp.collector.evals[id].load(Ordering::Relaxed),
@@ -386,10 +392,12 @@ fn num(v: f64) -> String {
 
 fn node_cost_json(c: &NodeCost) -> String {
     format!(
-        "{{\"node\":{},\"name\":{},\"op\":{},\"self_ns\":{},\"alloc_bytes\":{},\"evals\":{}}}",
+        "{{\"node\":{},\"name\":{},\"op\":{},\"line\":{},\"col\":{},\"self_ns\":{},\"alloc_bytes\":{},\"evals\":{}}}",
         c.node,
         esc(&c.name),
         esc(c.op),
+        c.span.line,
+        c.span.col,
         c.self_ns,
         c.alloc_bytes,
         c.evals
@@ -533,20 +541,22 @@ impl RunReport {
         ));
         for c in &self.critical_path.nodes {
             out.push_str(&format!(
-                "  {:>6} {:<24} {:<10} {}\n",
+                "  {:>6} {:<24} {:<10} {:<8} {}\n",
                 c.node,
                 truncate(&c.name, 24),
                 c.op,
+                c.span.to_string(),
                 ms(c.self_ns)
             ));
         }
         out.push_str("top nodes by self-time:\n");
         for c in self.node_costs.iter().take(10) {
             out.push_str(&format!(
-                "  {:>6} {:<24} {:<10} {} · {} · {} evals\n",
+                "  {:>6} {:<24} {:<10} {:<8} {} · {} · {} evals\n",
                 c.node,
                 truncate(&c.name, 24),
                 c.op,
+                c.span.to_string(),
                 ms(c.self_ns),
                 kb(c.alloc_bytes),
                 c.evals
@@ -594,6 +604,7 @@ mod tests {
             node: id,
             name: g.nodes[id].name.clone(),
             op: g.nodes[id].op.mnemonic(),
+            span: g.nodes[id].span,
             self_ns: self_ns[id],
             alloc_bytes: 0,
             evals: 1,
@@ -641,6 +652,7 @@ mod tests {
                     node: 2,
                     name: "matmul \"weird\"".to_string(),
                     op: "matmul",
+                    span: Span::new(3, 7),
                     self_ns: 600_000,
                     alloc_bytes: 1024,
                     evals: 1,
@@ -661,6 +673,8 @@ mod tests {
             doc["critical_path"]["nodes"][0]["name"].as_str(),
             Some("matmul \"weird\"")
         );
+        assert_eq!(doc["critical_path"]["nodes"][0]["line"].as_u64(), Some(3));
+        assert_eq!(doc["critical_path"]["nodes"][0]["col"].as_u64(), Some(7));
         assert!(doc["sched"]["utilization"].as_f64().unwrap() > 0.2);
         let text = report.render_text();
         assert!(text.contains("critical path"), "{text}");

@@ -43,7 +43,15 @@ pub use span::Span;
 /// Returns a [`ParseError`] carrying the offending line/column on lexical or
 /// syntactic errors.
 pub fn parse_module(source: &str) -> Result<Module, ParseError> {
-    parser::Parser::new(source)?.parse_module()
+    // staging-phase spans: lexing happens inside `Parser::new`, parsing
+    // in `parse_module` — both invisible in traces until now (cold-start
+    // cost accounting)
+    let mut parser = {
+        let _s = autograph_obs::span("staging", "lex");
+        parser::Parser::new(source)?
+    };
+    let _s = autograph_obs::span("staging", "parse");
+    parser.parse_module()
 }
 
 /// Parse a string of code, like the paper's `parser.parse_str` utility.

@@ -84,6 +84,10 @@ pub struct Interp {
     /// the loop body currently being staged (§7.2 Directives); consumed by
     /// the staged-loop builders.
     pub pending_loop_options: Option<u64>,
+    /// The original PyLite source text when known (set by
+    /// `Runtime::load*`); lets runtime conversion warnings quote the
+    /// offending construct.
+    pub source: Option<Rc<str>>,
     depth: usize,
     max_depth: usize,
 }
@@ -100,6 +104,7 @@ impl Interp {
             rng: Rng64::new(0x5EED),
             current_span: autograph_pylang::Span::synthetic(),
             pending_loop_options: None,
+            source: None,
             depth: 0,
             // CPython defaults to 1000; interpreter frames are large, so
             // this also keeps us inside the OS stack in debug builds.
@@ -155,6 +160,7 @@ impl Interp {
                 let is_artifact = autograph_transforms::wrappers::is_artifact(decorators);
                 let f = Value::Function(Rc::new(PyFunction {
                     name: name.clone(),
+                    def_span: stmt.span,
                     params: params.clone(),
                     body: Rc::new(body.clone()),
                     closure: env.clone(),
@@ -465,6 +471,7 @@ impl Interp {
                     .collect::<Result<Vec<_>>>()?;
                 Ok(Value::Function(Rc::new(PyFunction {
                     name: "<lambda>".to_string(),
+                    def_span: body.span,
                     params: params.clone(),
                     body: Rc::new(vec![Stmt::new(
                         StmtKind::Return(Some((**body).clone())),

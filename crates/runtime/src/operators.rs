@@ -955,7 +955,12 @@ pub fn ensure_converted(i: &mut Interp, f: &Rc<PyFunction>) -> Result<Rc<PyFunct
     // Under FallbackToEager an unconvertible function comes back verbatim
     // with a warning; marking it as an artifact below caches the decision
     // and lets it run op-by-op in the eager interpreter.
-    i.conversion_warnings.extend(converted.warnings);
+    match i.source.clone() {
+        Some(src) => i
+            .conversion_warnings
+            .extend(converted.warnings.into_iter().map(|w| w.with_source(&src))),
+        None => i.conversion_warnings.extend(converted.warnings),
+    }
     let body = match converted.module.body.into_iter().next() {
         Some(autograph_pylang::ast::Stmt {
             kind: StmtKind::FunctionDef { body, .. },
@@ -965,6 +970,7 @@ pub fn ensure_converted(i: &mut Interp, f: &Rc<PyFunction>) -> Result<Rc<PyFunct
     };
     let new_f = Rc::new(PyFunction {
         name: f.name.clone(),
+        def_span: f.def_span,
         params: f.params.clone(),
         body: Rc::new(body),
         closure: f.closure.clone(),

@@ -9,6 +9,7 @@ use crate::{Result, RuntimeError};
 use autograph_graph::ir::NodeId;
 use autograph_graph::Graph;
 use autograph_lantern::Program;
+use autograph_obs as obs;
 use autograph_tensor::Tensor;
 use std::rc::Rc;
 
@@ -94,6 +95,7 @@ impl Runtime {
         }
         let module = autograph_pylang::parse_module(source)?;
         let mut interp = Interp::new();
+        interp.source = Some(Rc::from(source));
         let globals = global_env();
         interp.exec_block(&module.body, &globals)?;
         Ok(Runtime { interp, globals })
@@ -115,10 +117,20 @@ impl Runtime {
         config: &autograph_transforms::ConversionConfig,
     ) -> Result<Runtime> {
         let module = autograph_pylang::parse_module(source)?;
-        let converted = autograph_transforms::convert_module(module, config)?;
+        let converted = {
+            let _s = obs::span("staging", "convert");
+            autograph_transforms::convert_module(module, config)?
+        };
         let mut interp = Interp::new();
         interp.config = config.clone();
-        interp.conversion_warnings = converted.warnings;
+        interp.source = Some(Rc::from(source));
+        // warnings gain the offending construct's text now that the
+        // original source is in hand
+        interp.conversion_warnings = converted
+            .warnings
+            .into_iter()
+            .map(|w| w.with_source(source))
+            .collect();
         let globals = global_env();
         interp.exec_block(&converted.module.body, &globals)?;
         Ok(Runtime { interp, globals })
@@ -187,9 +199,17 @@ impl Runtime {
     /// Returns staging errors (unconverted data-dependent control flow,
     /// branch arity mismatches, …) located at the user's source.
     pub fn stage_to_graph(&mut self, name: &str, args: Vec<GraphArg>) -> Result<StagedGraph> {
+        let _s = obs::span("staging", "stage");
         let f = self.function(name)?;
         let f = operators::ensure_converted(&mut self.interp, &f)?;
         self.interp.stage = Stage::Graph(crate::backend::GraphStage::new());
+
+        // Placeholders stage before any user statement runs; attribute
+        // them to the function's `def` line so every executed node
+        // resolves to a source span.
+        if !f.def_span.is_synthetic() {
+            self.interp.current_span = f.def_span;
+        }
 
         let mut arg_values = Vec::with_capacity(args.len());
         for a in args {
@@ -244,6 +264,7 @@ impl Runtime {
     ///
     /// Returns staging/compilation errors.
     pub fn stage_to_lantern(&mut self, name: &str, args: Vec<LanternArg>) -> Result<Program> {
+        let _s = obs::span("staging", "stage");
         let f = self.function(name)?;
         self.interp.stage = Stage::Lantern(crate::backend::LanternStage::new());
 
@@ -349,6 +370,7 @@ impl Runtime {
                 .map(|n| GraphArg::Placeholder((*n).to_string()))
                 .collect(),
         )?;
+        let _s = obs::span("staging", "optimize");
         let (graph, outputs, _) =
             autograph_graph::optimize::optimize(&staged.graph, &staged.outputs);
         // staging-time shape validation: provable mismatches fail here,

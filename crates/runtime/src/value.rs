@@ -16,6 +16,10 @@ use crate::env::Env;
 pub struct PyFunction {
     /// Function name.
     pub name: String,
+    /// Source location of the `def` (synthetic for functions with no
+    /// user-source origin); placeholders staged for the function's
+    /// parameters are attributed here.
+    pub def_span: autograph_pylang::Span,
     /// Parameters.
     pub params: Vec<Param>,
     /// Body statements (shared with the defining module).

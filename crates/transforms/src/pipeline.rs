@@ -69,10 +69,27 @@ pub struct ConversionWarning {
     /// The top-level function that was left unconverted (`<module>` for
     /// module-level statements).
     pub function: String,
-    /// Location of the construct that blocked conversion.
+    /// Full line:col location of the construct that blocked conversion.
     pub span: Span,
     /// Why conversion failed.
     pub reason: String,
+    /// The offending construct's source text, when the original source
+    /// was available (see [`ConversionWarning::with_source`]).
+    pub source_line: Option<String>,
+}
+
+impl ConversionWarning {
+    /// Attach the user's source text so the warning can quote the
+    /// offending construct (mirrors
+    /// [`crate::ConversionError::with_source`]).
+    pub fn with_source(mut self, source: &str) -> Self {
+        if !self.span.is_synthetic() && self.source_line.is_none() {
+            if let Some(line) = source.lines().nth(self.span.line as usize - 1) {
+                self.source_line = Some(line.trim_end().to_string());
+            }
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for ConversionWarning {
@@ -81,7 +98,11 @@ impl std::fmt::Display for ConversionWarning {
             f,
             "function '{}' falls back to eager execution: {} (at {})",
             self.function, self.reason, self.span
-        )
+        )?;
+        if let Some(line) = &self.source_line {
+            write!(f, "\n    {} | {}", self.span.line, line)?;
+        }
+        Ok(())
     }
 }
 
@@ -179,6 +200,7 @@ fn convert_module_fallback(
                     function,
                     span: e.span,
                     reason: e.message,
+                    source_line: e.source_line,
                 });
                 out_body.push(stmt);
             }
