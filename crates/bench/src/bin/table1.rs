@@ -1,11 +1,16 @@
 //! Regenerates **Table 1 — RNN Cell Performance (1K examples/sec)**.
 //!
-//! Four configurations (Eager / Official / Handwritten / AutoGraph) over
-//! a grid of sequence lengths and batch sizes, hidden size 256 in `--full`
-//! mode (the paper's setting) or a laptop-scale default otherwise.
+//! Five configurations (Eager / Official / Handwritten / AutoGraph in
+//! both execution tiers) over a grid of sequence lengths and batch
+//! sizes, hidden size 256 in `--full` mode (the paper's setting) or a
+//! laptop-scale default otherwise. The staged AutoGraph graph is
+//! measured twice — through the register-bytecode VM (the default
+//! tier, fused elementwise kernels) and through the per-node
+//! interpreter — so `--json-table` carries an exec-mode dimension the
+//! perf gate can diff.
 
 use autograph_bench::{measure, row, rule, HarnessArgs};
-use autograph_graph::Session;
+use autograph_graph::{ExecMode, Session};
 use autograph_models::rnn;
 
 fn main() {
@@ -34,7 +39,8 @@ fn main() {
         ("Eager".into(), vec![]),
         ("Official".into(), vec![]),
         ("Handwritten".into(), vec![]),
-        ("AutoGraph".into(), vec![]),
+        ("AutoGraph (Vm)".into(), vec![]),
+        ("AutoGraph (Interp)".into(), vec![]),
     ];
     // (config, cell, rate stats) for --json-table
     let mut cells: Vec<(usize, String, autograph_bench::Stats)> = Vec::new();
@@ -77,17 +83,21 @@ fn main() {
             rows[2].1.push(s.display(1.0, 2));
             cells.push((2, cell.clone(), s));
 
-            // AutoGraph: converted + staged once, then Session::run
+            // AutoGraph: converted + staged once, then Session::run —
+            // measured in both execution tiers over the same staged graph
             let mut rt = rnn::runtime(&weights, true).expect("load");
             let staged = rnn::stage_autograph(&mut rt).expect("stage");
-            let mut sess = Session::new(staged.graph);
             let outputs = staged.outputs.clone();
-            let s = measure(warmup, runs, || {
-                sess.run(&feeds, &outputs).expect("autograph run");
-            })
-            .rate(k_examples);
-            rows[3].1.push(s.display(1.0, 2));
-            cells.push((3, cell, s));
+            for (ri, mode) in [(3, ExecMode::Vm), (4, ExecMode::Interp)] {
+                let mut sess = Session::new(staged.graph.clone());
+                sess.set_exec_mode(mode);
+                let s = measure(warmup, runs, || {
+                    sess.run(&feeds, &outputs).expect("autograph run");
+                })
+                .rate(k_examples);
+                rows[ri].1.push(s.display(1.0, 2));
+                cells.push((ri, cell.clone(), s));
+            }
         }
     }
 
@@ -95,7 +105,9 @@ fn main() {
         row(label, cells);
     }
     rule(header.len());
-    println!("\nPaper shape: Eager slowest by ~2-3x; Official ≈ Handwritten ≈ AutoGraph.");
+    println!(
+        "\nPaper shape: Eager slowest by ~2-3x; Official ≈ Handwritten ≈ AutoGraph (both tiers)."
+    );
 
     if let Some(path) = &args.json_table {
         write_table_json(path, &args, threads, hidden, feat, &rows, &cells);
@@ -177,7 +189,11 @@ fn multi_branch_section(
     println!(
         "\nParallel executor: {branches} independent RNN branches (seq {seq} / batch {batch})"
     );
+    // this section benchmarks the wavefront scheduler, so pin the
+    // interpretive tier: the bytecode VM executes linearly on the
+    // calling thread and would erase the t1-vs-tN comparison
     let mut sess1 = Session::new(g.clone());
+    sess1.set_exec_mode(ExecMode::Interp);
     sess1.set_threads(1);
     let out1 = sess1.run(&feeds, &fetches).expect("single-threaded run");
     let s1 = measure(warmup, runs, || {
@@ -185,6 +201,7 @@ fn multi_branch_section(
     });
 
     let mut sess_n = Session::new(g);
+    sess_n.set_exec_mode(ExecMode::Interp);
     sess_n.set_threads(threads);
     let out_n = sess_n.run(&feeds, &fetches).expect("parallel run");
     let sn = measure(warmup, runs, || {

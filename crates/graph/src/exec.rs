@@ -41,6 +41,13 @@ pub struct Plan {
     /// Scheduling metadata (consumer lists, pending counts, control
     /// edges) for the parallel executor; computed once at compile time.
     wave: crate::sched::WaveMeta,
+    /// The fetch set the plan was compiled for; fusion in the bytecode
+    /// tier must keep these nodes materialized.
+    fetches: Vec<NodeId>,
+    /// Lazily-lowered bytecode program for [`crate::vm`]; built on first
+    /// VM-mode run and shared across runs (and plan clones made before
+    /// the first run compile independently).
+    vm: std::sync::OnceLock<std::sync::Arc<crate::compile::Program>>,
 }
 
 impl Plan {
@@ -71,7 +78,12 @@ impl Plan {
         // nodes are stored in creation order, which is already topological
         let order: Vec<NodeId> = (0..graph.nodes.len()).filter(|&i| needed[i]).collect();
         let wave = crate::sched::wave_meta(graph, order.clone());
-        Ok(Plan { order, wave })
+        Ok(Plan {
+            order,
+            wave,
+            fetches: fetches.to_vec(),
+            vm: std::sync::OnceLock::new(),
+        })
     }
 
     /// Number of nodes the plan executes.
@@ -185,6 +197,33 @@ impl Plan {
         }
         autograph_par::configure(threads);
         crate::sched::run_plan_parallel(graph, &self.wave, env, fetches, ctx)
+    }
+
+    /// Execute the plan through the compiled bytecode tier (see
+    /// [`crate::compile`] and [`crate::vm`]). The program is lowered on
+    /// the first call and cached on the plan. The VM's instruction
+    /// stream is linear on the calling thread, so results are bitwise
+    /// identical at every thread count by construction; `threads` still
+    /// configures the worker pool for tensor kernels that parallelize
+    /// internally.
+    pub(crate) fn run_vm_ctx(
+        &self,
+        graph: &Graph,
+        env: &mut ExecEnv<'_>,
+        fetches: &[NodeId],
+        threads: usize,
+        ctx: &RunCtx,
+    ) -> Result<Vec<GValue>> {
+        if threads > 1 {
+            autograph_par::configure(threads);
+        }
+        let program = self
+            .vm
+            .get_or_init(|| {
+                std::sync::Arc::new(crate::compile::compile(graph, &self.order, &self.fetches))
+            })
+            .clone();
+        crate::vm::run_program(&program, env, fetches, ctx)
     }
 }
 

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod builder;
+pub(crate) mod compile;
 pub mod error;
 pub mod exec;
 pub mod grad;
@@ -51,6 +52,7 @@ pub mod run;
 pub(crate) mod sched;
 pub mod session;
 pub mod shapes;
+pub(crate) mod vm;
 
 pub use builder::GraphBuilder;
 pub use error::{ErrorKind, GraphError};
@@ -58,7 +60,7 @@ pub use ir::{Graph, NodeId, OpKind, PassRecord, ProvSource, SubGraph};
 pub use optimize::{ElimRecord, OptTrace};
 pub use report::{CriticalPath, MemReport, NodeCost, RunReport, SchedReport, WorkerReport};
 pub use run::{CancelToken, RunOptions};
-pub use session::Session;
+pub use session::{set_default_exec_mode, ExecMode, Session};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

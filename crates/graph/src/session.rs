@@ -25,12 +25,78 @@ use autograph_obs as obs;
 use autograph_par as par;
 use autograph_tensor::Tensor;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Process-wide thread default set by [`set_default_threads`];
 /// 0 = unset.
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// How a session executes its compiled plans.
+///
+/// Both modes produce bitwise-identical results (locked down by the
+/// VM-vs-interpreter differential test wall); they differ only in cost.
+/// The mode resolves in priority order:
+///
+/// 1. [`Session::set_exec_mode`] on this session;
+/// 2. the process-wide default from [`set_default_exec_mode`];
+/// 3. the `AUTOGRAPH_EXEC` environment variable (`"interp"` / `"vm"`);
+/// 4. [`ExecMode::Vm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Per-node interpretive dispatch over the graph (the original
+    /// executor; the only mode that uses the parallel wavefront
+    /// scheduler at `threads > 1`).
+    Interp,
+    /// Compiled register-bytecode execution with fused elementwise
+    /// kernels and buffer recycling (see `crate::compile` /
+    /// `crate::vm`).
+    Vm,
+}
+
+/// Process-wide exec-mode default; 0 = unset, 1 = interp, 2 = vm.
+static DEFAULT_EXEC: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide default execution mode for sessions that don't
+/// call [`Session::set_exec_mode`]. `AUTOGRAPH_EXEC` is only consulted
+/// while this is unset.
+pub fn set_default_exec_mode(mode: ExecMode) {
+    let v = match mode {
+        ExecMode::Interp => 1,
+        ExecMode::Vm => 2,
+    };
+    DEFAULT_EXEC.store(v, Ordering::Relaxed);
+}
+
+/// `AUTOGRAPH_EXEC`, parsed once per process.
+fn env_exec_mode() -> Option<ExecMode> {
+    static CACHE: OnceLock<Option<ExecMode>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        match std::env::var("AUTOGRAPH_EXEC")
+            .ok()?
+            .trim()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "interp" | "interpreter" => Some(ExecMode::Interp),
+            "vm" | "bytecode" => Some(ExecMode::Vm),
+            _ => None,
+        }
+    })
+}
+
+/// Resolve the effective execution mode for a session (see [`ExecMode`]
+/// for the priority order).
+fn resolve_exec_mode(session_mode: Option<ExecMode>) -> ExecMode {
+    if let Some(m) = session_mode {
+        return m;
+    }
+    match DEFAULT_EXEC.load(Ordering::Relaxed) {
+        1 => ExecMode::Interp,
+        2 => ExecMode::Vm,
+        _ => env_exec_mode().unwrap_or(ExecMode::Vm),
+    }
+}
 
 /// Set the process-wide default thread count for sessions that don't
 /// call [`Session::set_threads`]. `AUTOGRAPH_THREADS` and machine
@@ -150,6 +216,7 @@ pub struct Session {
     plans: HashMap<Vec<NodeId>, Plan>,
     stats: Arc<SessionStatsShared>,
     threads: Option<usize>,
+    exec_mode: Option<ExecMode>,
     /// Whether runs collect a [`RunReport`] (memory accounting, scheduler
     /// utilization, critical path). Off by default: the run path then
     /// pays only an `Option` check per node.
@@ -168,6 +235,7 @@ impl Session {
             plans: HashMap::new(),
             stats: Arc::new(SessionStatsShared::default()),
             threads: None,
+            exec_mode: None,
             reporting: false,
             last_report: None,
         }
@@ -189,6 +257,18 @@ impl Session {
     /// The thread count the next `run` call will use.
     pub fn effective_threads(&self) -> usize {
         resolve_threads(self.threads)
+    }
+
+    /// Pin this session's execution mode, overriding the process default
+    /// and `AUTOGRAPH_EXEC`.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) -> &mut Session {
+        self.exec_mode = Some(mode);
+        self
+    }
+
+    /// The execution mode the next `run` call will use.
+    pub fn effective_exec_mode(&self) -> ExecMode {
+        resolve_exec_mode(self.exec_mode)
     }
 
     /// Enable or disable per-run reporting. While enabled, every run
@@ -343,7 +423,10 @@ impl Session {
             None
         };
         let t0 = std::time::Instant::now();
-        let result = plan.run_threads_ctx(&self.graph, &mut env, fetches, threads, &ctx);
+        let result = match resolve_exec_mode(self.exec_mode) {
+            ExecMode::Vm => plan.run_vm_ctx(&self.graph, &mut env, fetches, threads, &ctx),
+            ExecMode::Interp => plan.run_threads_ctx(&self.graph, &mut env, fetches, threads, &ctx),
+        };
         // fold progress into the session counters on success AND failure:
         // stats after a failed run reflect the work done before the error
         self.stats.nodes_executed.fetch_add(

@@ -1,0 +1,604 @@
+//! Fused elementwise kernels: single-loop evaluation of a chain of
+//! elementwise ops, the execution substrate for the graph VM's fusion
+//! tier.
+//!
+//! A [`FusedSpec`] is a small postfix (stack) program over up to
+//! [`FUSED_MAX_INPUTS`] input tensors whose steps are drawn from the
+//! closed set of elementwise ops in [`FusedOp`]. Evaluating the spec
+//! computes, for every output element, exactly the same chain of `f32`
+//! operations — in the same order, with no reassociation — that the
+//! op-by-op kernels in [`crate::ops`]/[`crate::nn`] would compute, so the
+//! result is **bitwise identical** to unfused execution. The win is
+//! structural: one output allocation instead of one per chain link, no
+//! intermediate `Arc`/ledger traffic, and one cache-friendly pass.
+//!
+//! ## Legality (what may be fused)
+//!
+//! * only the ops enumerated in [`FusedOp`] — pure, elementwise,
+//!   `f32 → f32`, with per-element semantics copied verbatim from the
+//!   scalar bodies of the unfused kernels;
+//! * all inputs must be `f32` tensors (integer operands take different
+//!   per-op paths — `i64` wrapping arithmetic, `div` promotion — which a
+//!   fused `f32` loop cannot reproduce), and their shapes must broadcast
+//!   through the program without error;
+//! * the program must be a tree (each intermediate consumed once), so
+//!   per-element evaluation never recomputes divergent state.
+//!
+//! Eligibility is a *runtime* property of the actual inputs
+//! ([`FusedSpec::eligible`]): the caller checks it per execution and
+//! falls back to op-by-op dispatch — which reproduces error messages,
+//! integer semantics and observability exactly — when it does not hold.
+//!
+//! ## Buffer reuse
+//!
+//! [`FusedArena`] is a small free-list of `f32` buffers. Executors feed
+//! it the buffers of dead intermediates (via
+//! [`crate::Tensor::into_f32_buffer`]) and fused evaluation draws output
+//! buffers from it, so loop-carried temporaries recycle their
+//! allocations across iterations instead of round-tripping the system
+//! allocator. The memory ledger stays exact: reclaiming records a free,
+//! wrapping a recycled buffer into a tensor records a fresh allocation.
+
+use crate::shape::{broadcast_shapes, BroadcastMap};
+use crate::{DType, Tensor};
+
+/// Maximum number of distinct input tensors a fused program may read.
+pub const FUSED_MAX_INPUTS: usize = 64;
+/// Maximum number of postfix steps in a fused program.
+pub const FUSED_MAX_OPS: usize = 64;
+/// Maximum operand-stack depth a fused program may need.
+pub const FUSED_MAX_STACK: usize = 16;
+
+/// One step of a fused elementwise postfix program.
+///
+/// Binary steps pop the right operand first (`a ○ b` is emitted as
+/// `…a…, …b…, Op`). The per-element semantics of each op are exactly the
+/// scalar bodies used by the unfused `f32` kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedOp {
+    /// Push element of input `i` (broadcast-mapped to the output index).
+    Input(u8),
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `(a / b).floor()`
+    FloorDiv,
+    /// `a.rem_euclid(b)`
+    Mod,
+    /// `a.powf(b)`
+    Pow,
+    /// `a.max(b)`
+    Maximum,
+    /// `a.min(b)`
+    Minimum,
+    /// `-a`
+    Neg,
+    /// `a.abs()`
+    Abs,
+    /// `a.sqrt()`
+    Sqrt,
+    /// `a.exp()`
+    Exp,
+    /// `a.ln()`
+    Log,
+    /// `a * a`
+    Square,
+    /// `a.tanh()`
+    Tanh,
+    /// `1 / (1 + (-a).exp())`
+    Sigmoid,
+    /// `a.max(0.0)`
+    Relu,
+}
+
+impl FusedOp {
+    /// How many operands the step pops (0 for `Input`).
+    pub fn arity(&self) -> usize {
+        match self {
+            FusedOp::Input(_) => 0,
+            FusedOp::Neg
+            | FusedOp::Abs
+            | FusedOp::Sqrt
+            | FusedOp::Exp
+            | FusedOp::Log
+            | FusedOp::Square
+            | FusedOp::Tanh
+            | FusedOp::Sigmoid
+            | FusedOp::Relu => 1,
+            _ => 2,
+        }
+    }
+
+    #[inline]
+    fn apply1(&self, a: f32) -> f32 {
+        match self {
+            FusedOp::Neg => -a,
+            FusedOp::Abs => a.abs(),
+            FusedOp::Sqrt => a.sqrt(),
+            FusedOp::Exp => a.exp(),
+            FusedOp::Log => a.ln(),
+            FusedOp::Square => a * a,
+            FusedOp::Tanh => a.tanh(),
+            FusedOp::Sigmoid => 1.0 / (1.0 + (-a).exp()),
+            FusedOp::Relu => a.max(0.0),
+            _ => f32::NAN,
+        }
+    }
+
+    #[inline]
+    fn apply2(&self, a: f32, b: f32) -> f32 {
+        match self {
+            FusedOp::Add => a + b,
+            FusedOp::Sub => a - b,
+            FusedOp::Mul => a * b,
+            FusedOp::Div => a / b,
+            FusedOp::FloorDiv => (a / b).floor(),
+            FusedOp::Mod => a.rem_euclid(b),
+            FusedOp::Pow => a.powf(b),
+            FusedOp::Maximum => a.max(b),
+            FusedOp::Minimum => a.min(b),
+            _ => f32::NAN,
+        }
+    }
+}
+
+/// A validated fused elementwise program: a postfix op sequence over
+/// `num_inputs` tensors that leaves exactly one value on the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedSpec {
+    ops: Vec<FusedOp>,
+    num_inputs: usize,
+}
+
+/// How a fused input is addressed per output element.
+enum Access<'a> {
+    /// Input shape equals the output shape: direct indexing.
+    Ident(&'a [f32]),
+    /// Single-element input: one value for every output element.
+    Scalar(f32),
+    /// General broadcast: flat output index mapped through strides.
+    Mapped(&'a [f32], BroadcastMap),
+}
+
+impl Access<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f32 {
+        match self {
+            Access::Ident(v) => v[i],
+            Access::Scalar(x) => *x,
+            Access::Mapped(v, m) => v[m.map(i)],
+        }
+    }
+}
+
+impl FusedSpec {
+    /// Validate and build a spec. Returns `None` when the program is
+    /// malformed (stack underflow, >1 final value, unused inputs
+    /// indexed out of range) or exceeds the size limits.
+    pub fn new(ops: Vec<FusedOp>, num_inputs: usize) -> Option<FusedSpec> {
+        if num_inputs > FUSED_MAX_INPUTS || ops.is_empty() || ops.len() > FUSED_MAX_OPS {
+            return None;
+        }
+        let mut depth: usize = 0;
+        for op in &ops {
+            match op {
+                FusedOp::Input(i) => {
+                    if *i as usize >= num_inputs {
+                        return None;
+                    }
+                    depth += 1;
+                }
+                other => {
+                    let k = other.arity();
+                    if depth < k {
+                        return None;
+                    }
+                    depth = depth - k + 1;
+                }
+            }
+            if depth > FUSED_MAX_STACK {
+                return None;
+            }
+        }
+        if depth != 1 {
+            return None;
+        }
+        Some(FusedSpec { ops, num_inputs })
+    }
+
+    /// The postfix steps.
+    pub fn ops(&self) -> &[FusedOp] {
+        &self.ops
+    }
+
+    /// Number of input slots the program reads.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Simulate broadcasting through the program, returning the output
+    /// shape — `None` when any step's operands do not broadcast (the
+    /// caller's op-by-op fallback then reproduces the exact error).
+    fn simulate_shape(&self, inputs: &[&Tensor]) -> Option<Vec<usize>> {
+        let mut stack: Vec<Vec<usize>> = Vec::with_capacity(FUSED_MAX_STACK);
+        for op in &self.ops {
+            match op {
+                FusedOp::Input(i) => stack.push(inputs.get(*i as usize)?.shape().to_vec()),
+                other if other.arity() == 1 => {
+                    // unary ops preserve shape
+                    stack.last()?;
+                }
+                other => {
+                    debug_assert_eq!(other.arity(), 2);
+                    let b = stack.pop()?;
+                    let a = stack.pop()?;
+                    stack.push(broadcast_shapes(&a, &b).ok()?);
+                }
+            }
+        }
+        match stack.len() {
+            1 => stack.pop(),
+            _ => None,
+        }
+    }
+
+    /// Whether this program can run fused over these inputs: right input
+    /// count, all `f32`, and every step broadcasts. When this returns
+    /// `false` the caller must dispatch op-by-op.
+    pub fn eligible(&self, inputs: &[&Tensor]) -> bool {
+        inputs.len() == self.num_inputs
+            && inputs.iter().all(|t| t.dtype() == DType::F32)
+            && self.simulate_shape(inputs).is_some()
+    }
+
+    /// Evaluate the fused program in a single loop, drawing the output
+    /// buffer from `arena`. Returns `None` when [`FusedSpec::eligible`]
+    /// does not hold — no side effects in that case.
+    ///
+    /// The per-element operation chain is identical to op-by-op
+    /// execution, so the result is bitwise equal to the unfused path;
+    /// large outputs split across the worker pool in disjoint chunks
+    /// (which cannot change any element's value).
+    pub fn try_eval(&self, inputs: &[&Tensor], arena: &mut FusedArena) -> Option<Tensor> {
+        if inputs.len() != self.num_inputs || inputs.iter().any(|t| t.dtype() != DType::F32) {
+            return None;
+        }
+        let out_shape = self.simulate_shape(inputs)?;
+        let n: usize = out_shape.iter().product();
+        let mut accesses: Vec<Access<'_>> = Vec::with_capacity(inputs.len());
+        for t in inputs {
+            let v = t.as_f32().ok()?;
+            if t.shape() == out_shape.as_slice() {
+                accesses.push(Access::Ident(v));
+            } else if t.num_elements() == 1 {
+                accesses.push(Access::Scalar(*v.first()?));
+            } else {
+                // simulate_shape succeeded, so every input broadcasts to
+                // the final shape (elementwise broadcasting composes)
+                accesses.push(Access::Mapped(v, BroadcastMap::new(t.shape(), &out_shape)));
+            }
+        }
+        let mut out = arena.take(n);
+        if n >= FUSED_PAR_MIN && autograph_par::threads() > 1 {
+            out.resize(n, 0.0);
+            let out_addr = out.as_mut_ptr() as usize;
+            autograph_par::parallel_for(n, 4096, &|range| {
+                for i in range {
+                    // SAFETY: chunks are disjoint, so each index is
+                    // written by exactly one thread; the buffer outlives
+                    // the call.
+                    unsafe { *(out_addr as *mut f32).add(i) = self.eval_element(&accesses, i) };
+                }
+            });
+        } else {
+            for i in 0..n {
+                out.push(self.eval_element(&accesses, i));
+            }
+        }
+        Tensor::from_vec(out, &out_shape).ok()
+    }
+
+    /// Evaluate the chain for one output element.
+    #[inline]
+    fn eval_element(&self, accesses: &[Access<'_>], i: usize) -> f32 {
+        let mut stack = [0.0f32; FUSED_MAX_STACK];
+        let mut top: usize = 0;
+        for op in &self.ops {
+            match op {
+                FusedOp::Input(s) => {
+                    stack[top] = accesses[*s as usize].get(i);
+                    top += 1;
+                }
+                other if other.arity() == 1 => {
+                    stack[top - 1] = other.apply1(stack[top - 1]);
+                }
+                other => {
+                    stack[top - 2] = other.apply2(stack[top - 2], stack[top - 1]);
+                    top -= 1;
+                }
+            }
+        }
+        stack[0]
+    }
+}
+
+/// Same threshold as the elementwise kernels in [`crate::ops`]: below
+/// this many output elements a parallel split costs more than it saves.
+const FUSED_PAR_MIN: usize = 1 << 15;
+
+/// Buffers the arena will hold at most (beyond that, freed buffers just
+/// drop), and the largest buffer worth keeping.
+const ARENA_MAX_BUFS: usize = 16;
+const ARENA_MAX_ELEMS: usize = 1 << 22;
+
+/// A small free-list of `f32` buffers for fused outputs: dead
+/// intermediates donate their allocations ([`FusedArena::give`]) and
+/// fused evaluation reuses them ([`FusedArena::take`]), so loop-carried
+/// temporaries stop hitting the allocator once the loop warms up.
+#[derive(Debug, Default)]
+pub struct FusedArena {
+    free: Vec<Vec<f32>>,
+}
+
+impl FusedArena {
+    /// A fresh, empty arena.
+    pub fn new() -> FusedArena {
+        FusedArena::default()
+    }
+
+    /// An empty buffer with capacity for at least `n` elements —
+    /// recycled when a donated buffer is large enough, freshly allocated
+    /// otherwise.
+    pub fn take(&mut self, n: usize) -> Vec<f32> {
+        for i in 0..self.free.len() {
+            if self.free[i].capacity() >= n {
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                return buf;
+            }
+        }
+        Vec::with_capacity(n)
+    }
+
+    /// Donate a dead buffer for reuse. Oversized buffers and donations
+    /// beyond the arena's capacity are simply dropped.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 || buf.capacity() > ARENA_MAX_ELEMS {
+            return;
+        }
+        if self.free.len() >= ARENA_MAX_BUFS {
+            // keep the larger buffer: evict the smallest held one
+            if let Some((idx, _)) = self
+                .free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+            {
+                if self.free[idx].capacity() < buf.capacity() {
+                    self.free[idx] = buf;
+                }
+            }
+            return;
+        }
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently held.
+    pub fn held(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(v, shape).unwrap()
+    }
+
+    /// add → mul → tanh over same-shape inputs matches op-by-op bitwise.
+    #[test]
+    fn fused_chain_matches_op_by_op_bitwise() {
+        let a = t(vec![0.1, -2.5, 3.7, 0.0], &[4]);
+        let b = t(vec![1.5, 0.25, -1.0, 9.0], &[4]);
+        let c = t(vec![2.0, -0.5, 0.75, 1.25], &[4]);
+        // tanh((a + b) * c)
+        let spec = FusedSpec::new(
+            vec![
+                FusedOp::Input(0),
+                FusedOp::Input(1),
+                FusedOp::Add,
+                FusedOp::Input(2),
+                FusedOp::Mul,
+                FusedOp::Tanh,
+            ],
+            3,
+        )
+        .unwrap();
+        let mut arena = FusedArena::new();
+        assert!(spec.eligible(&[&a, &b, &c]));
+        let fused = spec.try_eval(&[&a, &b, &c], &mut arena).unwrap();
+        let reference = a.add(&b).unwrap().mul(&c).unwrap().tanh().unwrap();
+        assert_eq!(
+            fused.as_f32().unwrap(),
+            reference.as_f32().unwrap(),
+            "fused result must be bitwise identical"
+        );
+        assert_eq!(fused.shape(), reference.shape());
+    }
+
+    #[test]
+    fn every_op_matches_its_kernel() {
+        let a = t(vec![0.5, -1.25, 2.0, -0.1], &[4]);
+        let b = t(vec![1.5, 0.4, -2.0, 3.0], &[4]);
+        let bins: Vec<(FusedOp, Tensor)> = vec![
+            (FusedOp::Add, a.add(&b).unwrap()),
+            (FusedOp::Sub, a.sub(&b).unwrap()),
+            (FusedOp::Mul, a.mul(&b).unwrap()),
+            (FusedOp::Div, a.div(&b).unwrap()),
+            (FusedOp::FloorDiv, a.floordiv(&b).unwrap()),
+            (FusedOp::Mod, a.rem(&b).unwrap()),
+            (FusedOp::Pow, a.pow(&b).unwrap()),
+            (FusedOp::Maximum, a.maximum(&b).unwrap()),
+            (FusedOp::Minimum, a.minimum(&b).unwrap()),
+        ];
+        let mut arena = FusedArena::new();
+        for (op, want) in bins {
+            let spec = FusedSpec::new(vec![FusedOp::Input(0), FusedOp::Input(1), op], 2).unwrap();
+            let got = spec.try_eval(&[&a, &b], &mut arena).unwrap();
+            assert_eq!(
+                got.as_f32()
+                    .unwrap()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                want.as_f32()
+                    .unwrap()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "{op:?}"
+            );
+        }
+        let uns: Vec<(FusedOp, Tensor)> = vec![
+            (FusedOp::Neg, a.neg().unwrap()),
+            (FusedOp::Abs, a.abs().unwrap()),
+            (FusedOp::Sqrt, a.sqrt().unwrap()),
+            (FusedOp::Exp, a.exp().unwrap()),
+            (FusedOp::Log, a.log().unwrap()),
+            (FusedOp::Square, a.square().unwrap()),
+            (FusedOp::Tanh, a.tanh().unwrap()),
+            (FusedOp::Sigmoid, a.sigmoid().unwrap()),
+            (FusedOp::Relu, a.relu().unwrap()),
+        ];
+        for (op, want) in uns {
+            let spec = FusedSpec::new(vec![FusedOp::Input(0), op], 1).unwrap();
+            let got = spec.try_eval(&[&a], &mut arena).unwrap();
+            assert_eq!(
+                got.as_f32()
+                    .unwrap()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                want.as_f32()
+                    .unwrap()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "{op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_scalar_and_row() {
+        let m = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let row = t(vec![10.0, 20.0, 30.0], &[3]);
+        let s = Tensor::scalar_f32(0.5);
+        // (m + row) * s
+        let spec = FusedSpec::new(
+            vec![
+                FusedOp::Input(0),
+                FusedOp::Input(1),
+                FusedOp::Add,
+                FusedOp::Input(2),
+                FusedOp::Mul,
+            ],
+            3,
+        )
+        .unwrap();
+        let mut arena = FusedArena::new();
+        let got = spec.try_eval(&[&m, &row, &s], &mut arena).unwrap();
+        let want = m.add(&row).unwrap().mul(&s).unwrap();
+        assert_eq!(got.as_f32().unwrap(), want.as_f32().unwrap());
+        assert_eq!(got.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn ineligible_inputs_are_refused_without_side_effects() {
+        let spec =
+            FusedSpec::new(vec![FusedOp::Input(0), FusedOp::Input(1), FusedOp::Add], 2).unwrap();
+        let mut arena = FusedArena::new();
+        // i64 input
+        let i = Tensor::from_vec_i64(vec![1, 2], &[2]).unwrap();
+        let f = t(vec![1.0, 2.0], &[2]);
+        assert!(!spec.eligible(&[&i, &f]));
+        assert!(spec.try_eval(&[&i, &f], &mut arena).is_none());
+        // broadcast mismatch
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![1.0, 2.0, 3.0], &[3]);
+        assert!(!spec.eligible(&[&a, &b]));
+        assert!(spec.try_eval(&[&a, &b], &mut arena).is_none());
+        // wrong arity
+        assert!(!spec.eligible(&[&a]));
+    }
+
+    #[test]
+    fn malformed_programs_rejected() {
+        // empty
+        assert!(FusedSpec::new(vec![], 0).is_none());
+        // stack underflow
+        assert!(FusedSpec::new(vec![FusedOp::Input(0), FusedOp::Add], 1).is_none());
+        // two values left
+        assert!(FusedSpec::new(vec![FusedOp::Input(0), FusedOp::Input(0)], 1).is_none());
+        // input slot out of range
+        assert!(FusedSpec::new(vec![FusedOp::Input(3)], 1).is_none());
+        // too deep
+        let mut deep = vec![FusedOp::Input(0); FUSED_MAX_STACK + 1];
+        for _ in 0..FUSED_MAX_STACK {
+            deep.push(FusedOp::Add);
+        }
+        assert!(FusedSpec::new(deep, 1).is_none());
+    }
+
+    #[test]
+    fn arena_recycles_buffers() {
+        let mut arena = FusedArena::new();
+        let mut buf = Vec::with_capacity(128);
+        buf.push(1.0f32);
+        let cap = buf.capacity();
+        arena.give(buf);
+        assert_eq!(arena.held(), 1);
+        let reused = arena.take(64);
+        assert!(reused.is_empty());
+        assert!(reused.capacity() >= 64);
+        assert_eq!(reused.capacity(), cap, "the donated buffer came back");
+        assert_eq!(arena.held(), 0);
+        // too-small held buffers are skipped
+        arena.give(Vec::with_capacity(8));
+        let fresh = arena.take(1024);
+        assert!(fresh.capacity() >= 1024);
+        assert_eq!(arena.held(), 1, "small buffer stays for a later fit");
+    }
+
+    #[test]
+    fn arena_reuse_through_tensor_roundtrip() {
+        let mut arena = FusedArena::new();
+        let spec = FusedSpec::new(vec![FusedOp::Input(0), FusedOp::Sqrt], 1).unwrap();
+        let a = t(vec![4.0, 9.0, 16.0, 25.0], &[4]);
+        let out = spec.try_eval(&[&a], &mut arena).unwrap();
+        assert_eq!(out.as_f32().unwrap(), &[2.0, 3.0, 4.0, 5.0]);
+        // sole owner: the buffer is reclaimable and feeds the next eval
+        let buf = out.into_f32_buffer().unwrap();
+        arena.give(buf);
+        let out2 = spec.try_eval(&[&a], &mut arena).unwrap();
+        assert_eq!(out2.as_f32().unwrap(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(arena.held(), 0, "recycled buffer was taken");
+    }
+
+    #[test]
+    fn empty_tensors_fuse() {
+        let spec = FusedSpec::new(vec![FusedOp::Input(0), FusedOp::Relu], 1).unwrap();
+        let mut arena = FusedArena::new();
+        let e = t(vec![], &[0]);
+        let out = spec.try_eval(&[&e], &mut arena).unwrap();
+        assert_eq!(out.num_elements(), 0);
+        assert_eq!(out.shape(), &[0]);
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod dtype;
 pub mod error;
+pub mod fused;
 pub mod index;
 pub mod linalg;
 pub mod mem;

@@ -135,6 +135,33 @@ impl Tensor {
     fn raw(&self) -> &Data {
         &self.inner.data.data
     }
+
+    /// Reclaim the underlying `f32` buffer when this handle is the sole
+    /// owner — the entry point for buffer recycling (see
+    /// [`crate::fused::FusedArena`]).
+    ///
+    /// Consumes the tensor. Returns `None` (dropping the handle
+    /// normally) when the storage is shared, was produced by a
+    /// zero-copy reshape, or is not `f32`. On success the ledger
+    /// records the free, exactly as a plain drop would: the buffer
+    /// stops being a tensor allocation, and wrapping it into a new
+    /// tensor later counts as a fresh one.
+    pub fn into_f32_buffer(self) -> Option<Vec<f32>> {
+        let inner = Arc::try_unwrap(self.inner).ok()?;
+        let mut storage = Arc::try_unwrap(inner.data).ok()?;
+        if storage.data.dtype() != DType::F32 {
+            return None;
+        }
+        // Storage has a Drop impl (ledger accounting), so steal the
+        // buffer and let the drop run with an empty payload — the free
+        // of the original counted bytes is still recorded.
+        let data = std::mem::replace(&mut storage.data, Data::F32(Vec::new()));
+        drop(storage);
+        match data {
+            Data::F32(v) => Some(v),
+            _ => None,
+        }
+    }
 }
 
 impl Tensor {

@@ -54,19 +54,25 @@ echo "== genprog replay (tests/regressions/)"
 cargo run --release -q -p genprog -- replay tests/regressions/*.pylite
 
 # explain gate: the provenance layer must attribute >=95% of executed
-# node self-time back to source lines on both example programs (a
-# control-flow-heavy loop and a matmul-heavy MLP), and emit parseable
-# DOT. autograph-explain exits nonzero below --min-coverage.
+# node self-time back to source lines on all three example programs (a
+# control-flow-heavy loop, a matmul-heavy MLP, and a fusion-heavy
+# elementwise chain whose kernels the bytecode VM fuses — attribution
+# must survive the fused-kernel cost splits), and emit parseable DOT.
+# autograph-explain exits nonzero below --min-coverage.
 echo "== explain gate (annotated source + DOT, >=95% attribution)"
 cargo run --release -q -p autograph-explain -- examples/explain/rnn_loop.pylite \
     --feed x=vec:0.5,1.5,-0.25,2.0 \
     --min-coverage 95 --dot target/explain_rnn_loop.dot >/dev/null
+cargo run --release -q -p autograph-explain -- examples/explain/fused_elementwise.pylite \
+    --feed x=vec:0.5,1.5,-0.25,2.0 \
+    --min-coverage 95 --dot target/explain_fused_elementwise.dot >/dev/null
 cargo run --release -q -p autograph-explain -- examples/explain/mlp_matmul.pylite \
     --feed x=mat:4x4:1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16 \
     --feed w1=mat:4x4:0.1,0.2,0.1,0.0,0.3,0.1,0.2,0.1,0.0,0.1,0.3,0.2,0.1,0.0,0.1,0.2 \
     --feed w2=mat:4x4:0.2,0.1,0.0,0.1,0.1,0.2,0.1,0.0,0.0,0.1,0.2,0.1,0.1,0.0,0.1,0.2 \
     --min-coverage 95 --dot target/explain_mlp_matmul.dot >/dev/null
-for dot in target/explain_rnn_loop.dot target/explain_mlp_matmul.dot; do
+for dot in target/explain_rnn_loop.dot target/explain_fused_elementwise.dot \
+           target/explain_mlp_matmul.dot; do
     head -1 "$dot" | grep -q '^digraph' || { echo "FAIL: $dot is not a digraph"; exit 1; }
 done
 

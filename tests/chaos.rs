@@ -107,11 +107,24 @@ fn stage_corpus() -> Vec<StagedProgram> {
         .collect()
 }
 
-fn run_at(p: &StagedProgram, threads: usize) -> Result<Vec<Tensor>, autograph::GraphError> {
+fn run_at(
+    p: &StagedProgram,
+    threads: usize,
+    mode: ExecMode,
+) -> Result<Vec<Tensor>, autograph::GraphError> {
     let mut sess = Session::new(p.graph.clone());
     sess.set_threads(threads);
+    sess.set_exec_mode(mode);
     sess.run(&p.feeds, &p.outputs)
 }
+
+/// Every (threads, exec-mode) combination the chaos contract covers.
+const EXEC_GRID: [(usize, ExecMode); 4] = [
+    (1, ExecMode::Interp),
+    (4, ExecMode::Interp),
+    (1, ExecMode::Vm),
+    (4, ExecMode::Vm),
+];
 
 /// Kernel errors and allocation failures at every graph kernel: every run
 /// must fail with a structured, attributed error on both executors.
@@ -123,22 +136,22 @@ fn injected_kernel_errors_surface_attributed_on_both_executors() {
         for kind in ["error", "alloc"] {
             let _g = PlanGuard::install(&format!("{kind}@graph/*:{seed}"));
             for p in &staged {
-                for threads in [1, 4] {
-                    let err = run_at(p, threads).expect_err(p.name);
+                for (threads, mode) in EXEC_GRID {
+                    let err = run_at(p, threads, mode).expect_err(p.name);
                     let msg = err.to_string();
                     assert!(
                         msg.contains("injected"),
-                        "{}: t{threads}: not an injected fault: {msg}",
+                        "{}: {mode:?} t{threads}: not an injected fault: {msg}",
                         p.name
                     );
                     assert!(
                         msg.contains("(node '"),
-                        "{}: t{threads}: missing node attribution: {msg}",
+                        "{}: {mode:?} t{threads}: missing node attribution: {msg}",
                         p.name
                     );
                     assert!(
                         msg.contains("[from original source"),
-                        "{}: t{threads}: missing span attribution: {msg}",
+                        "{}: {mode:?} t{threads}: missing span attribution: {msg}",
                         p.name
                     );
                 }
@@ -156,17 +169,17 @@ fn injected_panics_are_isolated_on_both_executors() {
     for seed in seeds() {
         let _g = PlanGuard::install(&format!("panic@graph/*:{seed}"));
         for p in &staged {
-            for threads in [1, 4] {
-                let err = run_at(p, threads).expect_err(p.name);
+            for (threads, mode) in EXEC_GRID {
+                let err = run_at(p, threads, mode).expect_err(p.name);
                 let msg = err.to_string();
                 assert!(
                     msg.contains("kernel panicked") && msg.contains("injected panic fault"),
-                    "{}: t{threads}: {msg}",
+                    "{}: {mode:?} t{threads}: {msg}",
                     p.name
                 );
                 assert!(
                     msg.contains("(node '") && msg.contains("[from original source"),
-                    "{}: t{threads}: missing attribution: {msg}",
+                    "{}: {mode:?} t{threads}: missing attribution: {msg}",
                     p.name
                 );
             }
@@ -184,34 +197,41 @@ fn partial_rate_faults_fail_cleanly_or_not_at_all() {
     let staged = stage_corpus();
     let reference: Vec<Vec<Tensor>> = staged
         .iter()
-        .map(|p| run_at(p, 1).unwrap_or_else(|e| panic!("{}: reference: {e}", p.name)))
+        .map(|p| {
+            run_at(p, 1, ExecMode::Interp).unwrap_or_else(|e| panic!("{}: reference: {e}", p.name))
+        })
         .collect();
     for seed in seeds() {
         let spec = format!("error@graph/*@0.02:{seed}");
-        let mut failed = 0usize;
-        for (p, r) in staged.iter().zip(&reference) {
-            let outcome = {
-                let _g = PlanGuard::install(&spec);
-                run_at(p, 1)
-            };
-            match outcome {
-                Ok(out) => assert_bitwise_eq(p.name, "survived faulted run", &out, r),
-                Err(e) => {
-                    failed += 1;
-                    let msg = e.to_string();
-                    assert!(msg.contains("injected"), "{}: {msg}", p.name);
+        // fused groups fire their injection sites at the kernel's
+        // position, so the per-site decision sequence is a per-mode
+        // contract: replay within a mode must agree; modes may differ
+        for mode in [ExecMode::Interp, ExecMode::Vm] {
+            let mut failed = 0usize;
+            for (p, r) in staged.iter().zip(&reference) {
+                let outcome = {
+                    let _g = PlanGuard::install(&spec);
+                    run_at(p, 1, mode)
+                };
+                match outcome {
+                    Ok(out) => assert_bitwise_eq(p.name, "survived faulted run", &out, r),
+                    Err(e) => {
+                        failed += 1;
+                        let msg = e.to_string();
+                        assert!(msg.contains("injected"), "{}: {mode:?}: {msg}", p.name);
+                    }
                 }
-            }
-            // determinism of the injection decision itself: the counter
-            // restarts at install, so the same plan re-run from scratch
-            // fails (or survives) identically on the sequential path
-            let outcome2 = {
-                let _g = PlanGuard::install(&spec);
-                run_at(p, 1)
-            };
-            match outcome2 {
-                Ok(out) => assert_bitwise_eq(p.name, "replayed faulted run", &out, r),
-                Err(_) => assert!(failed > 0, "{}: replay diverged", p.name),
+                // determinism of the injection decision itself: the counter
+                // restarts at install, so the same plan re-run from scratch
+                // fails (or survives) identically on the sequential path
+                let outcome2 = {
+                    let _g = PlanGuard::install(&spec);
+                    run_at(p, 1, mode)
+                };
+                match outcome2 {
+                    Ok(out) => assert_bitwise_eq(p.name, "replayed faulted run", &out, r),
+                    Err(_) => assert!(failed > 0, "{}: {mode:?}: replay diverged", p.name),
+                }
             }
         }
     }
@@ -225,14 +245,16 @@ fn delay_faults_never_change_values() {
     let staged = stage_corpus();
     let reference: Vec<Vec<Tensor>> = staged
         .iter()
-        .map(|p| run_at(p, 1).unwrap_or_else(|e| panic!("{}: reference: {e}", p.name)))
+        .map(|p| {
+            run_at(p, 1, ExecMode::Interp).unwrap_or_else(|e| panic!("{}: reference: {e}", p.name))
+        })
         .collect();
     let seed = seeds()[0];
     let _g = PlanGuard::install(&format!("delay@*/*@0.25:{seed}"));
     for (p, r) in staged.iter().zip(&reference) {
-        for threads in [1, 4] {
-            let out = run_at(p, threads)
-                .unwrap_or_else(|e| panic!("{}: delayed t{threads}: {e}", p.name));
+        for (threads, mode) in EXEC_GRID {
+            let out = run_at(p, threads, mode)
+                .unwrap_or_else(|e| panic!("{}: delayed {mode:?} t{threads}: {e}", p.name));
             assert_bitwise_eq(p.name, "delayed run", &out, r);
         }
     }
@@ -246,7 +268,9 @@ fn non_faulted_reruns_are_bitwise_identical_after_chaos() {
     let staged = stage_corpus();
     let reference: Vec<Vec<Tensor>> = staged
         .iter()
-        .map(|p| run_at(p, 1).unwrap_or_else(|e| panic!("{}: reference: {e}", p.name)))
+        .map(|p| {
+            run_at(p, 1, ExecMode::Interp).unwrap_or_else(|e| panic!("{}: reference: {e}", p.name))
+        })
         .collect();
     for seed in seeds() {
         {
@@ -254,18 +278,18 @@ fn non_faulted_reruns_are_bitwise_identical_after_chaos() {
                 "panic@graph/*@0.5,error@graph/*@0.5,delay@par/*@0.5:{seed}"
             ));
             for p in &staged {
-                for threads in [1, 4] {
+                for (threads, mode) in EXEC_GRID {
                     // outcome irrelevant — only that it never aborts
-                    let _ = run_at(p, threads);
+                    let _ = run_at(p, threads, mode);
                 }
             }
         }
         // plan cleared by the guard: everything must be pristine again
         for (p, r) in staged.iter().zip(&reference) {
-            for threads in [1, 4] {
+            for (threads, mode) in EXEC_GRID {
                 for rerun in 0..2 {
-                    let out = run_at(p, threads).unwrap_or_else(|e| {
-                        panic!("{}: clean rerun {rerun} t{threads}: {e}", p.name)
+                    let out = run_at(p, threads, mode).unwrap_or_else(|e| {
+                        panic!("{}: clean rerun {rerun} {mode:?} t{threads}: {e}", p.name)
                     });
                     assert_bitwise_eq(p.name, "clean rerun", &out, r);
                 }
