@@ -29,7 +29,11 @@
 //!   (scheduler sleep; perturbs timing, never values).
 //! * `pattern` — `op`, `site/op`, either segment may be `*`. Sites in
 //!   use: `graph` (both executors' kernel dispatch), `eager` (registry
-//!   dispatch), `par` (worker task entry — only `delay` applies there).
+//!   dispatch), `par` (worker task entry — only `delay` applies there),
+//!   `serve` (the HTTP serving layer: ops `admission` — fires as a shed
+//!   before the request enters the queue, `batcher` — disables batch
+//!   coalescing for the hit request, `respond` — fails the response
+//!   write into a clean 500).
 //! * `rate` — hit probability in `[0, 1]`, default `1`.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
@@ -215,17 +219,33 @@ pub fn active() -> bool {
 }
 
 /// Install a plan from `AUTOGRAPH_FAULTS` on first call; later calls are
-/// a no-op. A malformed spec is reported once on stderr and ignored.
+/// a no-op. A malformed spec is reported once on stderr, bumps the
+/// `faults/spec_parse_error` obs counter (so harnesses that swallow
+/// stderr still see the misconfiguration), and is otherwise ignored.
 pub fn maybe_init_from_env() {
     static INIT: OnceLock<()> = OnceLock::new();
     INIT.get_or_init(|| {
         if let Ok(spec) = std::env::var("AUTOGRAPH_FAULTS") {
-            match FaultPlan::parse(&spec) {
-                Ok(plan) => install(plan),
-                Err(e) => eprintln!("AUTOGRAPH_FAULTS ignored: {e}"),
-            }
+            init_from_spec(&spec);
         }
     });
+}
+
+/// Install a plan from a spec string; a malformed spec is reported on
+/// stderr and via the `faults/spec_parse_error` counter instead of being
+/// silently dropped. Returns whether the spec parsed.
+pub fn init_from_spec(spec: &str) -> bool {
+    match FaultPlan::parse(spec) {
+        Ok(plan) => {
+            install(plan);
+            true
+        }
+        Err(e) => {
+            autograph_obs::count("faults", "spec_parse_error", 1);
+            eprintln!("AUTOGRAPH_FAULTS ignored: {e}");
+            false
+        }
+    }
 }
 
 /// SplitMix64: decorrelates the (seed, site, op, counter) key into a hit
@@ -378,6 +398,27 @@ mod tests {
         clear();
         assert!(!active());
         assert!(inject("graph", "matmul").is_ok());
+    }
+
+    #[test]
+    fn malformed_spec_bumps_obs_counter_instead_of_vanishing() {
+        let _g = lock();
+        clear();
+        let rec = std::sync::Arc::new(autograph_obs::AggregateRecorder::new());
+        autograph_obs::install(rec.clone());
+        assert!(!init_from_spec("flub@x:nope"));
+        assert!(!active(), "malformed spec must not install a plan");
+        assert!(init_from_spec("error@matmul:7"), "good spec installs");
+        assert!(active());
+        autograph_obs::uninstall();
+        let parse_errors = rec
+            .summary()
+            .counters
+            .iter()
+            .find(|(k, _)| k == "faults/spec_parse_error")
+            .map(|(_, v)| *v);
+        assert_eq!(parse_errors, Some(1));
+        clear();
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! `autograph-loadgen`: closed-loop load generator for `autograph-serve`.
+//!
+//! N client threads hammer one function over keep-alive connections and
+//! the tool reports admitted-request latency percentiles, throughput,
+//! and shed/error rates — both human-readable and as a `BENCH_serve.json`
+//! section the `autograph-report diff` perf gate consumes:
+//!
+//! * `p50_ms` / `p99_ms` — gate **lower-is-better** (admitted requests
+//!   only: shed responses are the server *keeping* its latency promise,
+//!   not breaking it);
+//! * `throughput_rps` — gates **higher-is-better**;
+//! * `all_ok` — **must-hold** bool: no 5xx, no transport errors;
+//! * `shed_fraction` and the raw counters stay informational.
+//!
+//! `--json FILE --key threads_4` merges the section into an existing
+//! file, so `ci.sh` can run several burst shapes into one artifact.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use autograph_serve::client::{wait_ready, Client};
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Option<String>,
+    addr_file: Option<String>,
+    function: String,
+    body: String,
+    threads: usize,
+    requests: usize,
+    deadline_ms: Option<u64>,
+    warmup: usize,
+    json: Option<String>,
+    key: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autograph-loadgen (--addr HOST:PORT | --addr-file FILE) --function NAME\n\
+         \x20  [--body JSON] [--threads N] [--requests N] [--deadline-ms N] [--warmup N]\n\
+         \x20  [--json FILE] [--key SECTION]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        addr_file: None,
+        function: String::new(),
+        body: "{\"args\":[1.0]}".to_string(),
+        threads: 2,
+        requests: 50,
+        deadline_ms: None,
+        warmup: 5,
+        json: None,
+        key: "run".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("{name} needs a value");
+                    usage()
+                }
+            }
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")),
+            "--addr-file" => args.addr_file = Some(value("--addr-file")),
+            "--function" => args.function = value("--function"),
+            "--body" => args.body = value("--body"),
+            "--threads" => args.threads = parse_num(&value("--threads"), "--threads"),
+            "--requests" => args.requests = parse_num(&value("--requests"), "--requests"),
+            "--deadline-ms" => {
+                args.deadline_ms = Some(parse_num(&value("--deadline-ms"), "--deadline-ms"))
+            }
+            "--warmup" => args.warmup = parse_num(&value("--warmup"), "--warmup"),
+            "--json" => args.json = Some(value("--json")),
+            "--key" => args.key = value("--key"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    if args.function.is_empty() {
+        eprintln!("--function is required");
+        usage()
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    match s.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("{flag}: '{s}' is not a number");
+            usage()
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    ok: AtomicU64,
+    shed: AtomicU64,       // 503
+    deadline: AtomicU64,   // 504
+    client_4xx: AtomicU64, // 4xx incl. 499
+    server_5xx: AtomicU64, // 500 (real failures)
+    transport: AtomicU64,  // socket-level trouble
+}
+
+fn main() {
+    let args = parse_args();
+    let addr = match (&args.addr, &args.addr_file) {
+        (Some(a), _) => a.clone(),
+        (None, Some(path)) => {
+            // the server writes the file only once its socket is live;
+            // poll so `autograph-serve ... & autograph-loadgen ...` works
+            let t0 = std::time::Instant::now();
+            loop {
+                match std::fs::read_to_string(path) {
+                    Ok(s) if !s.trim().is_empty() => break s.trim().to_string(),
+                    _ if t0.elapsed() > Duration::from_secs(10) => {
+                        eprintln!("addr file {path} never appeared");
+                        std::process::exit(1);
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(50)),
+                }
+            }
+        }
+        (None, None) => usage(),
+    };
+    if !wait_ready(&addr, Duration::from_secs(10)) {
+        eprintln!("server at {addr} never became ready");
+        std::process::exit(1);
+    }
+
+    // warmup primes session pools and the EWMA the shed policy uses
+    if args.warmup > 0 {
+        if let Ok(mut c) = Client::connect(&addr) {
+            for _ in 0..args.warmup {
+                let _ = c.run(&args.function, &args.body, args.deadline_ms);
+            }
+        }
+    }
+
+    let counters = Arc::new(Counters::default());
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..args.threads.max(1))
+        .map(|_| {
+            let addr = addr.clone();
+            let function = args.function.clone();
+            let body = args.body.clone();
+            let deadline_ms = args.deadline_ms;
+            let requests = args.requests;
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+                let mut client = Client::connect(&addr).ok();
+                for _ in 0..requests {
+                    let c = match client.as_mut() {
+                        Some(c) => c,
+                        None => match Client::connect(&addr) {
+                            Ok(c) => {
+                                client = Some(c);
+                                match client.as_mut() {
+                                    Some(c) => c,
+                                    None => continue,
+                                }
+                            }
+                            Err(_) => {
+                                counters.transport.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        },
+                    };
+                    let rt0 = Instant::now();
+                    match c.run(&function, &body, deadline_ms) {
+                        Ok(resp) => {
+                            match resp.status {
+                                200 => {
+                                    counters.ok.fetch_add(1, Ordering::Relaxed);
+                                    latencies_us
+                                        .push(rt0.elapsed().as_micros().min(u128::from(u64::MAX))
+                                            as u64);
+                                }
+                                503 => {
+                                    counters.shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                504 => {
+                                    counters.deadline.fetch_add(1, Ordering::Relaxed);
+                                }
+                                s if (400..500).contains(&s) => {
+                                    counters.client_4xx.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    counters.server_5xx.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            // honor Retry-After so a shedding server sees
+                            // well-behaved backoff, not a stampede
+                            if resp.status == 503 {
+                                if let Some(secs) = resp
+                                    .header("retry-after")
+                                    .and_then(|v| v.parse::<u64>().ok())
+                                {
+                                    std::thread::sleep(Duration::from_millis(
+                                        (secs * 1000).min(200),
+                                    ));
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            counters.transport.fetch_add(1, Ordering::Relaxed);
+                            client = None; // reconnect next iteration
+                        }
+                    }
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = Vec::new();
+    for h in handles {
+        if let Ok(mut l) = h.join() {
+            latencies_us.append(&mut l);
+        }
+    }
+    let wall = t0.elapsed();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() - 1) as f64 * p).round() as usize;
+        latencies_us[idx.min(latencies_us.len() - 1)] as f64 / 1000.0
+    };
+    let p50_ms = pct(0.50);
+    let p99_ms = pct(0.99);
+    let mean_ms = if latencies_us.is_empty() {
+        0.0
+    } else {
+        latencies_us.iter().sum::<u64>() as f64 / latencies_us.len() as f64 / 1000.0
+    };
+    let ok = counters.ok.load(Ordering::Relaxed);
+    let shed = counters.shed.load(Ordering::Relaxed);
+    let deadline = counters.deadline.load(Ordering::Relaxed);
+    let client_4xx = counters.client_4xx.load(Ordering::Relaxed);
+    let server_5xx = counters.server_5xx.load(Ordering::Relaxed);
+    let transport = counters.transport.load(Ordering::Relaxed);
+    let total = ok + shed + deadline + client_4xx + server_5xx + transport;
+    let throughput_rps = ok as f64 / wall.as_secs_f64().max(1e-9);
+    let shed_fraction = if total == 0 {
+        0.0
+    } else {
+        shed as f64 / total as f64
+    };
+    let all_ok = server_5xx == 0 && transport == 0;
+
+    println!(
+        "loadgen {}x{} on {} ({}): {} ok, {} shed, {} deadline, {} 4xx, {} 5xx, {} transport",
+        args.threads,
+        args.requests,
+        args.function,
+        addr,
+        ok,
+        shed,
+        deadline,
+        client_4xx,
+        server_5xx,
+        transport
+    );
+    println!(
+        "  latency ms (admitted): p50 {p50_ms:.3}  p99 {p99_ms:.3}  mean {mean_ms:.3}  |  {throughput_rps:.1} req/s  shed {:.1}%",
+        shed_fraction * 100.0
+    );
+
+    let section = format!(
+        "{{\"threads\": {}, \"requests_per_thread\": {}, \"p50_ms\": {p50_ms:.6}, \"p99_ms\": {p99_ms:.6}, \"mean_ms\": {mean_ms:.6}, \"throughput_rps\": {throughput_rps:.6}, \"shed_fraction\": {shed_fraction:.6}, \"completed\": {ok}, \"shed\": {shed}, \"deadline_504\": {deadline}, \"client_4xx\": {client_4xx}, \"server_5xx\": {server_5xx}, \"transport\": {transport}, \"all_ok\": {all_ok}}}",
+        args.threads, args.requests
+    );
+    if let Some(path) = &args.json {
+        let merged = merge_section(path, &args.key, &section);
+        match std::fs::write(path, merged) {
+            Ok(()) => eprintln!("wrote {path} (section '{}')", args.key),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
+/// Merge `section` (a JSON object literal) under `key` into the file's
+/// existing top-level object, preserving other sections.
+fn merge_section(path: &str, key: &str, section: &str) -> String {
+    let existing = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let mut out = String::from("{\n  \"bench\": \"serve\"");
+    if let Some(Value::Object(map)) = existing {
+        for (k, v) in &map {
+            if k == key || k == "bench" {
+                continue;
+            }
+            out.push_str(",\n  \"");
+            out.push_str(k);
+            out.push_str("\": ");
+            let mut buf = String::new();
+            autograph_serve::json::write_value(v, &mut buf);
+            out.push_str(&buf);
+        }
+    }
+    out.push_str(",\n  \"");
+    out.push_str(key);
+    out.push_str("\": ");
+    out.push_str(section);
+    out.push_str("\n}\n");
+    out
+}

@@ -1,0 +1,685 @@
+//! The server proper: acceptor, connection threads, executor workers,
+//! and the drain choreography that ties SIGTERM to "finish what you
+//! started, refuse the rest".
+//!
+//! ## Thread anatomy
+//!
+//! ```text
+//! acceptor ── spawns ──► connection thread (≤ max_connections)
+//!                          │  parse HTTP, decode args, breaker check
+//!                          │  try_admit ──► AdmissionQueue ◄── pop ── worker × N
+//!                          │                                     │ batch? run graph
+//!                          ◄───────────── mpsc response ─────────┘
+//! ```
+//!
+//! Connection threads never execute graphs; workers never touch
+//! sockets. The queue between them is the only coupling, so overload
+//! shows up as queue depth — which admission turns into 503s — instead
+//! of unbounded thread pileup or latency.
+
+use crate::admission::{AdmissionQueue, Job};
+use crate::batch;
+use crate::breaker::Admit;
+use crate::error::ServeError;
+use crate::http::{HttpConn, ReadError, Request};
+use crate::json;
+use crate::registry::{feeds, FnEntry, ModelRegistry};
+use autograph_graph::run::{CancelToken, RunOptions};
+use autograph_tensor::Tensor;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning. `Default` is sized for a small container.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Executor workers (graph runs in flight).
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_depth: usize,
+    /// Concurrent connections; beyond this, accepts are refused at the
+    /// socket (the listener simply stops accepting).
+    pub max_connections: usize,
+    /// Deadline applied when a request carries no `X-Deadline-Ms`.
+    pub default_deadline: Duration,
+    /// Largest accepted request body.
+    pub max_body: usize,
+    /// Largest batch the worker will assemble (which functions are
+    /// batchable at all is decided at registry load, see
+    /// [`crate::registry::RegistryConfig::batch_fns`]).
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 64,
+            max_connections: 64,
+            default_deadline: Duration::from_secs(10),
+            max_body: 8 * 1024 * 1024,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Counters beyond admission's, exported via `/stats`.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Responses written, by class.
+    pub resp_2xx: AtomicU64,
+    /// 4xx responses (bad request / unknown function / cancelled-499).
+    pub resp_4xx: AtomicU64,
+    /// 5xx responses (shed, breaker, graph errors, deadline).
+    pub resp_5xx: AtomicU64,
+    /// Batched runs executed.
+    pub batches: AtomicU64,
+    /// Total members across batched runs.
+    pub batch_members: AtomicU64,
+    /// Batched runs that fell back to individual execution.
+    pub batch_fallbacks: AtomicU64,
+    /// Runs cancelled because the client disconnected.
+    pub cancelled: AtomicU64,
+    /// Worker panics contained into 500s.
+    pub worker_panics: AtomicU64,
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    queue: AdmissionQueue,
+    cfg: ServerConfig,
+    draining: AtomicBool,
+    conns: AtomicUsize,
+    inflight: AtomicUsize,
+    stats: ServerStats,
+    started: Instant,
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] aborts
+/// ungracefully (threads are detached); call `shutdown` for the drain
+/// path.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// What `shutdown` observed.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Whether all in-flight work finished inside the drain deadline.
+    pub clean: bool,
+    /// Requests still in flight when the deadline hit (0 when clean).
+    pub abandoned: usize,
+}
+
+impl Server {
+    /// Bind, spawn workers + acceptor, and start serving `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn start(registry: ModelRegistry, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let queue = AdmissionQueue::new(cfg.queue_depth, cfg.workers.max(1));
+        let shared = Arc::new(Shared {
+            registry,
+            queue,
+            cfg,
+            draining: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            stats: ServerStats::default(),
+            started: Instant::now(),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            workers,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (real port even when configured as `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin refusing new work without blocking: the acceptor stops,
+    /// admission answers 503 `draining`. Idempotent.
+    pub fn start_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.start_drain();
+    }
+
+    /// Graceful shutdown: stop accepting, let queued + in-flight work
+    /// finish for up to `drain_deadline`, then return what happened.
+    pub fn shutdown(mut self, drain_deadline: Duration) -> DrainReport {
+        self.start_drain();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let t0 = Instant::now();
+        // workers exit once the queue is drained
+        for w in self.workers.drain(..) {
+            let remaining = drain_deadline.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                break; // abandoned threads are detached, not joined
+            }
+            let _ = w.join();
+        }
+        // connection threads finish writing responses
+        while self.shared.inflight.load(Ordering::SeqCst) > 0 && t0.elapsed() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let abandoned = self.shared.inflight.load(Ordering::SeqCst);
+        DrainReport {
+            clean: abandoned == 0,
+            abandoned,
+        }
+    }
+
+    /// Render `/stats` (also used by tests and the loadgen).
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.shared)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.conns.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+                    // refuse at the door with a shed, not a hang
+                    let mut conn = HttpConn::new(stream, 0);
+                    let err = ServeError::Shed {
+                        reason: "connection_limit".to_string(),
+                        retry_after_ms: 100,
+                    };
+                    let _ = conn.write_response(
+                        err.status(),
+                        &retry_headers(&err),
+                        &json::error_body(&err, None),
+                    );
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        connection_loop(stream, &conn_shared);
+                        conn_shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn retry_headers(err: &ServeError) -> Vec<(&'static str, String)> {
+    match err.retry_after_ms() {
+        // Retry-After is whole seconds; round up so "10ms" isn't "0"
+        Some(ms) => vec![("Retry-After", ms.div_ceil(1000).max(1).to_string())],
+        None => Vec::new(),
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // Nagle + the peer's delayed ACK would add ~40ms to every
+    // keep-alive response written as head + body; send eagerly
+    let _ = stream.set_nodelay(true);
+    // short read timeout so idle keep-alive connections notice drain
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut conn = HttpConn::new(stream, shared.cfg.max_body);
+    loop {
+        let req = match conn.read_request() {
+            Ok(r) => r,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return; // idle connection during drain: close
+                }
+                continue;
+            }
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(m)) => {
+                let err = ServeError::BadRequest(m);
+                let _ = conn.write_response(err.status(), &[], &json::error_body(&err, None));
+                return;
+            }
+        };
+        let wants_close = req.wants_close();
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let keep = handle_request(&mut conn, &req, shared);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        if !keep || wants_close {
+            return;
+        }
+    }
+}
+
+/// Route and answer one request. Returns whether to keep the connection.
+fn handle_request(conn: &mut HttpConn, req: &Request, shared: &Arc<Shared>) -> bool {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let draining = shared.draining.load(Ordering::SeqCst);
+            let body = format!(
+                "{{\"status\":\"{}\",\"uptime_ms\":{}}}",
+                if draining { "draining" } else { "ok" },
+                shared.started.elapsed().as_millis()
+            );
+            conn.write_response(if draining { 503 } else { 200 }, &[], &body)
+                .is_ok()
+        }
+        ("GET", "/stats") => conn.write_response(200, &[], &stats_json(shared)).is_ok(),
+        ("POST", "/admin/drain") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.queue.start_drain();
+            conn.write_response(200, &[], "{\"status\":\"draining\"}")
+                .is_ok()
+        }
+        ("POST", path) if path.starts_with("/run/") => {
+            let name = &path["/run/".len()..];
+            let result = run_request(conn, req, name, shared);
+            write_run_response(conn, shared, result)
+        }
+        (_, path) if path.starts_with("/run/") => {
+            let err = ServeError::BadRequest(format!("{} not allowed on {path}", req.method));
+            let _ = conn.write_response(405, &[], &json::error_body(&err, None));
+            true
+        }
+        _ => {
+            let err = ServeError::UnknownFunction(format!("no route for {}", req.path));
+            let _ = conn.write_response(err.status(), &[], &json::error_body(&err, None));
+            true
+        }
+    }
+}
+
+fn write_run_response(
+    conn: &mut HttpConn,
+    shared: &Arc<Shared>,
+    result: Result<Vec<Tensor>, ServeError>,
+) -> bool {
+    if let Err(fault) = autograph_faults::inject("serve", "respond") {
+        autograph_obs::count("serve", "fault_respond", 1);
+        let err = ServeError::Internal(format!("injected fault: {fault}"));
+        shared.stats.resp_5xx.fetch_add(1, Ordering::Relaxed);
+        return conn
+            .write_response(err.status(), &[], &json::error_body(&err, None))
+            .is_ok();
+    }
+    match result {
+        Ok(outputs) => {
+            shared.stats.resp_2xx.fetch_add(1, Ordering::Relaxed);
+            conn.write_response(200, &[], &json::outputs_body(&outputs))
+                .is_ok()
+        }
+        Err(err) => {
+            let status = err.status();
+            if status >= 500 {
+                shared.stats.resp_5xx.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.resp_4xx.fetch_add(1, Ordering::Relaxed);
+            }
+            if matches!(err, ServeError::Cancelled) {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            let body = json::error_body(&err, Some(&shared.registry.source));
+            let keep = conn
+                .write_response(status, &retry_headers(&err), &body)
+                .is_ok();
+            // a cancelled run means the client is gone anyway
+            keep && !matches!(err, ServeError::Cancelled)
+        }
+    }
+}
+
+/// Decode, admit and await one `POST /run/<fn>`.
+fn run_request(
+    conn: &HttpConn,
+    req: &Request,
+    name: &str,
+    shared: &Arc<Shared>,
+) -> Result<Vec<Tensor>, ServeError> {
+    let entry = match shared.registry.get(name) {
+        Some(e) => Arc::clone(e),
+        None => {
+            let detail = match shared.registry.staging_error(name) {
+                Some(err) => format!("'{name}' failed staging: {err}"),
+                None => format!("'{name}' is not defined by the loaded program"),
+            };
+            return Err(ServeError::UnknownFunction(detail));
+        }
+    };
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::BadRequest("request body is not UTF-8".to_string()))?;
+    let args = json::parse_run_request(body).map_err(ServeError::BadRequest)?;
+    if args.len() != entry.arg_names.len() {
+        return Err(ServeError::BadRequest(format!(
+            "'{name}' takes {} argument(s), got {}",
+            entry.arg_names.len(),
+            args.len()
+        )));
+    }
+    // fast-fail before consuming queue space
+    match entry.breaker.admit() {
+        Admit::Yes | Admit::Probe => {}
+        Admit::No { retry_after } => {
+            return Err(ServeError::BreakerOpen {
+                retry_after_ms: retry_after.as_millis() as u64,
+            })
+        }
+    }
+    let budget = req
+        .deadline_ms()
+        .map(Duration::from_millis)
+        .unwrap_or(shared.cfg.default_deadline);
+    let now = Instant::now();
+    let cancel = CancelToken::new();
+    let (tx, rx) = sync_channel(1);
+    shared.queue.try_admit(Job {
+        entry,
+        args,
+        enqueued: now,
+        deadline: now + budget,
+        cancel: cancel.clone(),
+        resp: tx,
+    })?;
+    await_result(conn, &rx, cancel, now + budget)
+}
+
+/// Wait for the worker's answer while watching the socket for client
+/// disconnect (which cancels the run).
+fn await_result(
+    conn: &HttpConn,
+    rx: &Receiver<Result<Vec<Tensor>, ServeError>>,
+    cancel: CancelToken,
+    deadline: Instant,
+) -> Result<Vec<Tensor>, ServeError> {
+    // hard cap: the graph run enforces the deadline itself, this bound
+    // only guards against a lost worker — a hung connection is the one
+    // failure mode this server must never exhibit
+    let hard_cap = deadline + Duration::from_secs(10);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(result) => return result,
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(ServeError::Internal(
+                    "worker dropped the response channel".to_string(),
+                ))
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !cancel.is_cancelled() && conn.peer_closed() {
+                    cancel.cancel();
+                    // keep waiting: the worker will answer Cancelled
+                }
+                if Instant::now() > hard_cap {
+                    return Err(ServeError::Internal(
+                        "run overran its deadline and the hard cap".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// workers
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let batchable = job.entry.batchable.load(Ordering::Relaxed)
+            && !job.entry.stateful
+            && shared.cfg.max_batch > 1
+            && autograph_faults::inject("serve", "batcher").is_ok();
+        if batchable {
+            let members = {
+                let mut m = vec![job];
+                let probe = &m[0];
+                let taken = shared
+                    .queue
+                    .take_compatible(probe, shared.cfg.max_batch - 1, |c| {
+                        batch::compatible(probe, c)
+                    });
+                m.extend(taken);
+                m
+            };
+            if members.len() > 1 {
+                run_batch(shared, members);
+                continue;
+            }
+            run_single(
+                shared,
+                members
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(|| unreachable!("members built from vec![job]")),
+            );
+        } else {
+            run_single(shared, job);
+        }
+    }
+}
+
+/// Execute one job on its own; report to breaker, EWMA and the waiting
+/// connection.
+fn run_single(shared: &Arc<Shared>, job: Job) {
+    let t0 = Instant::now();
+    let result = execute(
+        shared,
+        &job.entry,
+        &job.args,
+        job.remaining(),
+        Some(&job.cancel),
+    );
+    finish(&job, t0, result);
+}
+
+/// Execute a coalesced batch; fall back to individual runs when the
+/// batch shape contract does not hold.
+fn run_batch(shared: &Arc<Shared>, members: Vec<Job>) {
+    let n = members.len();
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .batch_members
+        .fetch_add(n as u64, Ordering::Relaxed);
+    autograph_obs::observe("serve", "batch_size", n as u64);
+    let entry = Arc::clone(&members[0].entry);
+    // the batch runs under the most generous member deadline and no
+    // cancel token: one client's disconnect must not fail the others
+    let budget = members
+        .iter()
+        .map(Job::remaining)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let t0 = Instant::now();
+    let outcome = batch::stack_args(&members)
+        .map_err(ServeError::Internal)
+        .and_then(|stacked| execute(shared, &entry, &stacked, budget, None));
+    match outcome {
+        Ok(outputs) => match batch::split_outputs(&outputs, n) {
+            Some(per_member) => {
+                for (job, outs) in members.iter().zip(per_member) {
+                    finish(job, t0, Ok(outs));
+                }
+            }
+            None => {
+                // declared batch-legality was wrong: learn and fall back
+                entry.batchable.store(false, Ordering::Relaxed);
+                autograph_obs::count("serve", "batch_disabled", 1);
+                fallback_individual(shared, members);
+            }
+        },
+        Err(_) => fallback_individual(shared, members),
+    }
+}
+
+fn fallback_individual(shared: &Arc<Shared>, members: Vec<Job>) {
+    shared.stats.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+    for job in members {
+        run_single(shared, job);
+    }
+}
+
+/// One guarded graph run: deadline + optional cancel, panics contained.
+fn execute(
+    shared: &Arc<Shared>,
+    entry: &Arc<FnEntry>,
+    args: &[Tensor],
+    budget: Duration,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<Tensor>, ServeError> {
+    let mut options = RunOptions::default().with_deadline(budget);
+    if let Some(c) = cancel {
+        options = options.with_cancel(c.clone());
+    }
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        entry.with_session(|sess| {
+            sess.run_with_options(&feeds(&entry.arg_names, args), &entry.outputs, &options)
+        })
+    }));
+    match run {
+        Ok(Ok(outputs)) => Ok(outputs),
+        Ok(Err(e)) => Err(ServeError::from_graph(e)),
+        Err(panic) => {
+            // the panicked-through session was dropped, not repooled
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            autograph_obs::count("serve", "worker_panic", 1);
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            Err(ServeError::Internal(format!("panic in graph run: {msg}")))
+        }
+    }
+}
+
+/// Report a job's outcome: breaker bookkeeping, EWMA update, response.
+fn finish(job: &Job, t0: Instant, result: Result<Vec<Tensor>, ServeError>) {
+    match &result {
+        Ok(_) => {
+            job.entry.breaker.on_success();
+            job.entry
+                .record_service_ns(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        Err(e) if e.trips_breaker() => job.entry.breaker.on_failure(),
+        Err(_) => {} // client-budget outcome: breaker untouched
+    }
+    // the connection thread may have given up (hard cap) — ignore
+    let _ = job.resp.try_send(result);
+}
+
+// ---------------------------------------------------------------------
+// stats
+
+fn stats_json(shared: &Arc<Shared>) -> String {
+    let a = &shared.queue.stats;
+    let s = &shared.stats;
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"uptime_ms\":");
+    out.push_str(&shared.started.elapsed().as_millis().to_string());
+    out.push_str(",\"draining\":");
+    out.push_str(if shared.draining.load(Ordering::SeqCst) {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\"connections\":");
+    out.push_str(&shared.conns.load(Ordering::SeqCst).to_string());
+    out.push_str(",\"inflight\":");
+    out.push_str(&shared.inflight.load(Ordering::SeqCst).to_string());
+    out.push_str(",\"queue_depth\":");
+    out.push_str(&shared.queue.depth().to_string());
+    for (name, v) in [
+        ("admitted", a.admitted.load(Ordering::Relaxed)),
+        ("shed_queue_full", a.shed_queue_full.load(Ordering::Relaxed)),
+        (
+            "shed_predicted_late",
+            a.shed_predicted_late.load(Ordering::Relaxed),
+        ),
+        (
+            "expired_in_queue",
+            a.expired_in_queue.load(Ordering::Relaxed),
+        ),
+        (
+            "rejected_draining",
+            a.rejected_draining.load(Ordering::Relaxed),
+        ),
+        ("resp_2xx", s.resp_2xx.load(Ordering::Relaxed)),
+        ("resp_4xx", s.resp_4xx.load(Ordering::Relaxed)),
+        ("resp_5xx", s.resp_5xx.load(Ordering::Relaxed)),
+        ("batches", s.batches.load(Ordering::Relaxed)),
+        ("batch_members", s.batch_members.load(Ordering::Relaxed)),
+        ("batch_fallbacks", s.batch_fallbacks.load(Ordering::Relaxed)),
+        ("cancelled", s.cancelled.load(Ordering::Relaxed)),
+        ("worker_panics", s.worker_panics.load(Ordering::Relaxed)),
+    ] {
+        out.push_str(",\"");
+        out.push_str(name);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push_str(",\"functions\":[");
+    for (i, e) in shared.registry.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(&json::escape(&e.name));
+        out.push_str("\",\"stateful\":");
+        out.push_str(if e.stateful { "true" } else { "false" });
+        out.push_str(",\"batchable\":");
+        out.push_str(if e.batchable.load(Ordering::Relaxed) {
+            "true"
+        } else {
+            "false"
+        });
+        out.push_str(",\"breaker_open\":");
+        out.push_str(if e.breaker.is_open() { "true" } else { "false" });
+        out.push_str(",\"ewma_service_us\":");
+        out.push_str(&(e.ewma_service_ns.load(Ordering::Relaxed) / 1000).to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}

@@ -9,12 +9,13 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# error paths must not panic: the fault-injection crate and the worker
-# pool ban unwrap/expect crate-wide; the graph executors (exec.rs,
-# sched.rs) carry the same module-level #![deny], which the workspace
-# clippy pass above enforces
-echo "== cargo clippy (no unwrap/expect in fault & executor paths)"
-cargo clippy -p autograph-faults -p autograph-par --no-deps -- \
+# error paths must not panic: the fault-injection crate, the worker
+# pool, and the serving layer (which must turn every failure into a
+# structured HTTP response, never an abort) ban unwrap/expect
+# crate-wide; the graph executors (exec.rs, sched.rs) carry the same
+# module-level #![deny], which the workspace clippy pass above enforces
+echo "== cargo clippy (no unwrap/expect in fault, executor & serving paths)"
+cargo clippy -p autograph-faults -p autograph-par -p autograph-serve --no-deps -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "== cargo build --release"
@@ -83,26 +84,72 @@ cargo run --release -q -p autograph-bench --bin table1 -- \
     --json-table BENCH_table1.json \
     --report BENCH_report.json
 
+# Serving bench: boot autograph-serve on an ephemeral port (the
+# --addr-file handshake avoids port races), burst it with the load
+# generator at 1 and 4 client threads into one BENCH_serve.json, then
+# SIGTERM it — the server must drain cleanly (exit 0) or the gate fails.
+echo "== serve bench (autograph-serve + autograph-loadgen -> BENCH_serve.json)"
+rm -f target/serve.addr BENCH_serve.json
+target/release/autograph-serve --program examples/serve/mlp.pylite \
+    --addr-file target/serve.addr --workers 2 --queue-depth 64 \
+    --deadline-ms 5000 --batch-fns score --max-batch 8 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+target/release/autograph-loadgen --addr-file target/serve.addr \
+    --function score --body '{"args":[0.5]}' \
+    --threads 1 --requests 300 --deadline-ms 5000 \
+    --json BENCH_serve.json --key threads_1
+target/release/autograph-loadgen --addr-file target/serve.addr \
+    --function score --body '{"args":[0.5]}' \
+    --threads 4 --requests 300 --deadline-ms 5000 \
+    --json BENCH_serve.json --key threads_4
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FAIL: autograph-serve did not drain cleanly"; exit 1; }
+trap - EXIT
+
 # Perf-regression gate: diff fresh bench results against the committed
 # baselines. Tolerances are deliberately WIDE (rel 60%, and wider for the
 # most timing-sensitive metrics): CI runs on shared, often single-CPU
 # machines where run-to-run noise of 2x is routine. The gate exists to
 # catch order-of-magnitude regressions and structural breaks (metric
 # disappeared, determinism bit flipped, speedup collapsed), not 10%
-# drifts. Regenerate baselines on a quiet machine with:
+# drifts. The serve latency tolerances are the widest: 300% relative on
+# p50/p99 (up to 4x the baseline) plus a 5ms absolute floor — baseline
+# percentiles are sub-millisecond, where a single scheduler hiccup on a
+# busy 1-CPU runner is a four-digit relative "regression"; `all_ok`
+# (every request answered, zero transport errors) and throughput_rps
+# are the load-bearing serve gates. Regenerate baselines on a quiet
+# machine with:
 #   scripts/ci.sh --update-baselines   (or copy BENCH_*.json to baselines/)
+GATED_BASELINES=(BENCH_table1.json BENCH_parallel.json BENCH_report.json BENCH_serve.json)
 if [[ "${1:-}" == "--update-baselines" ]]; then
     echo "== updating committed baselines (baselines/)"
     mkdir -p baselines
-    cp BENCH_table1.json baselines/BENCH_table1.json
-    cp BENCH_parallel.json baselines/BENCH_parallel.json
+    for b in "${GATED_BASELINES[@]}"; do
+        cp "$b" "baselines/$b"
+    done
 else
+    # a gate that silently skips because its baseline vanished is no
+    # gate at all: missing baselines fail loudly
+    for b in "${GATED_BASELINES[@]}"; do
+        [[ -f "baselines/$b" ]] || {
+            echo "FAIL: gated baseline baselines/$b is missing —"
+            echo "      regenerate with scripts/ci.sh --update-baselines on a quiet machine"
+            exit 1
+        }
+    done
     echo "== perf-regression gate (autograph-report diff vs baselines/)"
     cargo run --release -q -p autograph-report --bin autograph-report -- \
         diff baselines/BENCH_table1.json BENCH_table1.json --tol-pct 60
     cargo run --release -q -p autograph-report --bin autograph-report -- \
         diff baselines/BENCH_parallel.json BENCH_parallel.json \
         --tol-pct 60 --tol speedup=75 --tol seconds=75
+    cargo run --release -q -p autograph-report --bin autograph-report -- \
+        diff baselines/BENCH_report.json BENCH_report.json --tol-pct 60
+    cargo run --release -q -p autograph-report --bin autograph-report -- \
+        diff baselines/BENCH_serve.json BENCH_serve.json \
+        --tol-pct 75 --abs 5 --tol p50_ms=300 --tol p99_ms=300 --tol mean_ms=300 \
+        --tol throughput_rps=75
 fi
 
 echo "CI OK"

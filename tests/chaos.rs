@@ -314,3 +314,104 @@ fn eager_site_faults_surface_as_errors() {
         assert!(msg.contains("injected"), "{kind}: {msg}");
     }
 }
+
+/// The serve axis: faults at the `serve` site (admission, batcher,
+/// respond) plus injected graph panics, under concurrent in-flight
+/// requests, must yield clean HTTP error responses — never a hung
+/// connection, never a poisoned session. Once the plan clears, the
+/// same request serves a bitwise-identical response again.
+#[test]
+fn serve_faults_yield_clean_errors_never_hung_connections() {
+    let _l = chaos_lock();
+    use autograph_serve::client::{wait_ready, Client};
+    use autograph_serve::{ModelRegistry, RegistryConfig, Server, ServerConfig};
+    use std::time::{Duration, Instant};
+
+    let src = "def f(x):\n    return x * 2.0 + 1.0\n";
+    let reg_cfg = RegistryConfig {
+        // `f` batchable so the batcher fault site is actually reachable
+        batch_fns: Some(vec!["f".to_string()]),
+        breaker_cooldown: Duration::from_millis(50),
+        ..RegistryConfig::default()
+    };
+    let reg = ModelRegistry::load(src, &reg_cfg).expect("load");
+    let cfg = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(reg, cfg).expect("start");
+    let addr = server.addr().to_string();
+    assert!(wait_ready(&addr, Duration::from_secs(10)));
+
+    // pristine reference response
+    let pre = {
+        let mut c = Client::connect(&addr).expect("connect");
+        let r = c.run("f", "{\"args\":[3.0]}", Some(10_000)).expect("pre");
+        assert_eq!(r.status, 200, "{}", r.text());
+        r.text()
+    };
+
+    for seed in seeds() {
+        let _g = PlanGuard::install(&format!(
+            "error@serve/admission@0.3,error@serve/respond@0.3,\
+             error@serve/batcher@0.5,panic@graph/*@0.3:{seed}"
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect");
+                    for i in 0..8 {
+                        let resp = match c.run("f", "{\"args\":[3.0]}", Some(5_000)) {
+                            Ok(r) => r,
+                            Err(_) => {
+                                // the server closed this connection after a
+                                // failed response write; reconnecting must
+                                // always work — refusal yes, hanging no
+                                c = Client::connect(&addr).expect("reconnect");
+                                continue;
+                            }
+                        };
+                        assert!(
+                            matches!(resp.status, 200 | 500 | 503 | 504),
+                            "request {i}: unclean status {}: {}",
+                            resp.status,
+                            resp.text()
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    // chaos must leave no residue: the injected panics may have tripped
+    // the breaker, so allow it its (shortened) cooldown, then demand a
+    // bitwise-identical response.
+    let mut c = Client::connect(&addr).expect("connect");
+    let t0 = Instant::now();
+    let post = loop {
+        let r = c.run("f", "{\"args\":[3.0]}", Some(10_000)).expect("post");
+        if r.status == 200 {
+            break r.text();
+        }
+        assert_eq!(
+            r.status,
+            503,
+            "only breaker cooldown may delay recovery: {}",
+            r.text()
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "breaker never recovered after chaos: {}",
+            r.text()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(post, pre, "post-chaos response differs from pre-chaos");
+    let report = server.shutdown(Duration::from_secs(10));
+    assert!(
+        report.clean,
+        "drain left {} request(s) in flight",
+        report.abandoned
+    );
+}

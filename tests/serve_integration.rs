@@ -1,0 +1,577 @@
+//! Integration suite for `crates/serve`: the HTTP serving layer must be
+//! a transparent, resilient shell around `Session::run` —
+//!
+//! * **transparent**: results over HTTP/JSON are bitwise-equal to a
+//!   direct session run of the same staged graph, under concurrent
+//!   clients and under dynamic batching;
+//! * **resilient**: overload sheds with 503 + `Retry-After` instead of
+//!   queueing to death, deadlines propagate into the run (504), client
+//!   disconnects cancel work (499 + stats), circuit breakers trip and
+//!   recover, and graceful drain finishes in-flight work while leaving
+//!   the tensor memory ledger exactly where it started.
+//!
+//! Servers in this suite share process-global state (the content-hash
+//! staging cache, the tensor memory ledger), so every test serializes
+//! on one mutex, same as `tests/chaos.rs`.
+
+use autograph_serve::client::{wait_ready, Client};
+use autograph_serve::json::{parse_outputs, write_tensor};
+use autograph_serve::{ModelRegistry, RegistryConfig, Server, ServerConfig};
+use autograph_tensor::{mem, Tensor};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+#[path = "support/corpus.rs"]
+mod corpus;
+
+#[path = "support/check.rs"]
+mod check;
+use check::assert_bitwise_eq;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn boot(src: &str, cfg: ServerConfig, reg_cfg: &RegistryConfig) -> Server {
+    let registry = ModelRegistry::load(src, reg_cfg).expect("registry load");
+    let server = Server::start(registry, cfg).expect("server start");
+    assert!(
+        wait_ready(&server.addr().to_string(), Duration::from_secs(10)),
+        "server never became ready"
+    );
+    server
+}
+
+fn body_for(args: &[&Tensor]) -> String {
+    let mut out = String::from("{\"args\":[");
+    for (i, t) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_tensor(t, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn stat(stats_body: &str, key: &str) -> u64 {
+    let v: serde_json::Value = serde_json::from_str(stats_body).expect("stats JSON");
+    v.get(key)
+        .and_then(serde_json::Value::as_f64)
+        .unwrap_or_else(|| panic!("stats missing '{key}': {stats_body}")) as u64
+}
+
+/// A corpus program whose single `def f` can be renamed into a combined
+/// module. Returns `None` for multi-function programs or self-calls.
+fn rename_f(src: &str, i: usize) -> Option<String> {
+    if src.matches("def ").count() != 1 {
+        return None;
+    }
+    let renamed = src.replacen("def f(", &format!("def f_{i}("), 1);
+    if !renamed.contains(&format!("def f_{i}(")) {
+        return None;
+    }
+    // a bare `f(` left over means the function calls itself — renaming
+    // call sites is not worth the fragility, skip such programs
+    let bytes = renamed.as_bytes();
+    for (pos, _) in renamed.match_indices("f(") {
+        let prev = if pos == 0 { b'\n' } else { bytes[pos - 1] };
+        if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.') {
+            return None;
+        }
+    }
+    Some(renamed)
+}
+
+/// The whole (single-function) corpus over HTTP, four concurrent client
+/// threads, every response bitwise-equal to a direct `Session::run` of
+/// the same staged entry.
+#[test]
+fn corpus_over_http_is_bitwise_equal_to_direct_session_run() {
+    let _l = lock();
+    let progs = corpus::programs();
+    let mut combined = String::new();
+    let mut cases: Vec<(String, Vec<(&'static str, Tensor)>)> = Vec::new();
+    for (i, p) in progs.iter().enumerate() {
+        if let Some(renamed) = rename_f(p.src, i) {
+            combined.push_str(&renamed);
+            combined.push('\n');
+            cases.push((format!("f_{i}"), p.feeds.clone()));
+        }
+    }
+    assert!(
+        cases.len() >= 15,
+        "corpus shrank unexpectedly: only {} single-function programs",
+        cases.len()
+    );
+
+    let reg_cfg = RegistryConfig::default();
+    let registry = ModelRegistry::load(&combined, &reg_cfg).expect("combined registry");
+    assert!(
+        registry.failed.is_empty(),
+        "combined corpus staging failures: {:?}",
+        registry
+            .failed
+            .iter()
+            .map(|f| format!("{}: {}", f.name, f.error))
+            .collect::<Vec<_>>()
+    );
+
+    // reference: direct session runs of the same staged entries
+    let mut expected: Vec<Vec<Tensor>> = Vec::new();
+    for (name, feeds) in &cases {
+        let entry = registry
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} staged"));
+        let args: Vec<Tensor> = entry
+            .arg_names
+            .iter()
+            .map(|n| {
+                feeds
+                    .iter()
+                    .find(|(fn_name, _)| fn_name == n)
+                    .map(|(_, t)| t.clone())
+                    .unwrap_or_else(|| panic!("{name}: feed {n} missing"))
+            })
+            .collect();
+        let out = entry
+            .with_session(|sess| {
+                let pairs: Vec<(&str, Tensor)> = entry
+                    .arg_names
+                    .iter()
+                    .map(String::as_str)
+                    .zip(args.iter().cloned())
+                    .collect();
+                sess.run(&pairs, &entry.outputs)
+            })
+            .unwrap_or_else(|e| panic!("{name}: direct run: {e}"));
+        expected.push(out);
+    }
+
+    let server = Server::start(registry, ServerConfig::default()).expect("server start");
+    let addr = server.addr().to_string();
+    assert!(wait_ready(&addr, Duration::from_secs(10)));
+
+    // the same workload from four concurrent keep-alive clients
+    let reg2 = ModelRegistry::load(&combined, &reg_cfg).expect("cache hit");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let addr = addr.clone();
+            let cases = &cases;
+            let expected = &expected;
+            let reg2 = &reg2;
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for ((name, feeds), want) in cases.iter().zip(expected) {
+                    let entry = reg2.get(name).unwrap_or_else(|| panic!("{name}"));
+                    let args: Vec<&Tensor> = entry
+                        .arg_names
+                        .iter()
+                        .map(|n| {
+                            feeds
+                                .iter()
+                                .find(|(fn_name, _)| fn_name == n)
+                                .map(|(_, t)| t)
+                                .unwrap_or_else(|| panic!("{name}: feed {n}"))
+                        })
+                        .collect();
+                    let resp = client
+                        .run(name, &body_for(&args), Some(30_000))
+                        .unwrap_or_else(|e| panic!("{name}: request: {e}"));
+                    assert_eq!(resp.status, 200, "{name}: {}", resp.text());
+                    let got = parse_outputs(&resp.text()).unwrap_or_else(|e| panic!("{name}: {e}"));
+                    assert_bitwise_eq(name, "http vs direct", &got, want);
+                }
+            });
+        }
+    });
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean, "drain left {} in flight", report.abandoned);
+}
+
+/// `spin(x)` counts to `x` through a graph `While` node (the bound is
+/// data-dependent, so staging cannot unroll it): the knob the tests use
+/// to hold a worker busy for a controlled time (~6µs/iteration in a
+/// debug build), while staying deadline- and cancel-responsive.
+const SPIN: &str = "\
+def spin(x):
+    i = 0.0
+    while i < x:
+        i = i + 1.0
+    return i
+
+def quick(x):
+    return x * 2.0
+";
+
+/// ~0.3–0.5s of graph work in a debug build.
+const SPIN_BUSY: &str = "{\"args\":[60000.0]}";
+/// Far beyond any test deadline — must be cut short by deadline/cancel.
+const SPIN_FOREVER: &str = "{\"args\":[1000000000.0]}";
+
+/// Under overload the server sheds with 503 + Retry-After instead of
+/// queueing to death; afterwards it serves bitwise-identical results.
+#[test]
+fn overload_sheds_instead_of_queueing_to_death() {
+    let _l = lock();
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        ..ServerConfig::default()
+    };
+    let server = boot(SPIN, cfg, &RegistryConfig::default());
+    let addr = server.addr().to_string();
+
+    let pre = {
+        let mut c = Client::connect(&addr).expect("connect");
+        let resp = c
+            .run("quick", "{\"args\":[21.0]}", Some(30_000))
+            .expect("pre");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        resp.text()
+    };
+
+    // 10 concurrent slow requests against 1 worker + queue of 2: at
+    // least 7 must shed, every client must get an answer promptly
+    let t0 = Instant::now();
+    let statuses: Vec<(u16, Option<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..10)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect");
+                    let resp = c.run("spin", SPIN_BUSY, Some(60_000)).expect("response");
+                    (resp.status, resp.header("retry-after").map(str::to_string))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let ok = statuses.iter().filter(|(s, _)| *s == 200).count();
+    let shed = statuses.iter().filter(|(s, _)| *s == 503).count();
+    assert_eq!(ok + shed, 10, "unexpected statuses: {statuses:?}");
+    assert!(ok >= 1, "some requests must be admitted: {statuses:?}");
+    assert!(shed >= 5, "expected mass shedding: {statuses:?}");
+    for (s, retry) in &statuses {
+        if *s == 503 {
+            let retry = retry.as_ref().expect("503 carries Retry-After");
+            assert!(retry.parse::<u64>().expect("integer Retry-After") >= 1);
+        }
+    }
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "overload burst took {elapsed:?} — queued to death"
+    );
+
+    // post-burst: bitwise-identical to pre-burst
+    let mut c = Client::connect(&addr).expect("connect");
+    let resp = c
+        .run("quick", "{\"args\":[21.0]}", Some(30_000))
+        .expect("post");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(
+        resp.text(),
+        pre,
+        "post-burst response differs from pre-burst"
+    );
+    let report = server.shutdown(Duration::from_secs(10));
+    assert!(report.clean, "drain left {} in flight", report.abandoned);
+}
+
+/// `X-Deadline-Ms` propagates into the graph run and expires as 504
+/// with a structured body; the connection survives for the next request.
+#[test]
+fn deadline_propagates_and_expires_as_504() {
+    let _l = lock();
+    let server = boot(SPIN, ServerConfig::default(), &RegistryConfig::default());
+    let addr = server.addr().to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+    let t0 = Instant::now();
+    let resp = c.run("spin", SPIN_FOREVER, Some(100)).expect("resp");
+    assert_eq!(resp.status, 504, "{}", resp.text());
+    assert!(
+        resp.text().contains("\"kind\":\"deadline_exceeded\""),
+        "{}",
+        resp.text()
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "deadline did not bound the run: {:?}",
+        t0.elapsed()
+    );
+    // keep-alive survives a 504
+    let resp = c
+        .run("quick", "{\"args\":[1.0]}", Some(10_000))
+        .expect("resp");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+}
+
+/// Dropping the connection mid-run cancels the graph run (visible in
+/// `/stats` as `cancelled`), so abandoned work doesn't occupy workers.
+#[test]
+fn client_disconnect_cancels_the_run() {
+    let _l = lock();
+    let cfg = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let server = boot(SPIN, cfg, &RegistryConfig::default());
+    let addr = server.addr().to_string();
+    {
+        // fire the request raw, let it get picked up, then vanish
+        let body = SPIN_FOREVER;
+        let head = format!(
+            "POST /run/spin HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nX-Deadline-Ms: 60000\r\n\r\n{body}",
+            body.len()
+        );
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        raw.write_all(head.as_bytes()).expect("send");
+        std::thread::sleep(Duration::from_millis(300));
+        drop(raw);
+    }
+    // the cancel must free the single worker well before the deadline
+    let t0 = Instant::now();
+    let mut cancelled_seen = false;
+    let mut c = Client::connect(&addr).expect("stats connect");
+    while t0.elapsed() < Duration::from_secs(20) {
+        let resp = c.request("GET", "/stats", "", "").expect("stats");
+        if stat(&resp.text(), "cancelled") >= 1 {
+            cancelled_seen = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(cancelled_seen, "disconnect never cancelled the run");
+    let report = server.shutdown(Duration::from_secs(10));
+    assert!(report.clean, "drain left {} in flight", report.abandoned);
+}
+
+/// Consecutive execution failures trip the per-function breaker into
+/// fast-fail 503s; after the cooldown a half-open probe re-admits
+/// traffic and a success closes the breaker. Error bodies carry the
+/// structured GraphError attribution (node, line, source line).
+#[test]
+fn breaker_trips_fast_fails_and_recovers_via_half_open_probe() {
+    let _l = lock();
+    let src = "def mm(a, b):\n    return tf.matmul(a, b)\n";
+    let reg_cfg = RegistryConfig {
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(200),
+        ..RegistryConfig::default()
+    };
+    let server = boot(src, ServerConfig::default(), &reg_cfg);
+    let addr = server.addr().to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let good = {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).expect("a");
+        body_for(&[&a, &a])
+    };
+    let bad = "{\"args\":[1.0, 2.0]}"; // scalars: matmul wants rank 2
+
+    // a healthy run first (also seeds the session pool)
+    let resp = c.run("mm", &good, Some(10_000)).expect("good");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // three consecutive execution failures trip the breaker...
+    for i in 0..3 {
+        let resp = c.run("mm", bad, Some(10_000)).expect("bad");
+        assert_eq!(resp.status, 500, "bad #{i}: {}", resp.text());
+        let text = resp.text();
+        assert!(text.contains("\"kind\":\"graph_error\""), "{text}");
+        assert!(
+            text.contains("\"node\":") && text.contains("\"line\":"),
+            "500 body lacks GraphError attribution: {text}"
+        );
+        assert!(
+            text.contains("\"source_line\":\"    return tf.matmul(a, b)\""),
+            "500 body lacks provenance source line: {text}"
+        );
+    }
+    // ...and now even a good request fast-fails
+    let resp = c.run("mm", &good, Some(10_000)).expect("tripped");
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(
+        resp.text().contains("\"kind\":\"breaker_open\""),
+        "{}",
+        resp.text()
+    );
+    assert!(
+        resp.header("retry-after").is_some(),
+        "breaker 503 carries Retry-After"
+    );
+
+    // after the cooldown, the half-open probe succeeds and closes it
+    std::thread::sleep(Duration::from_millis(300));
+    let resp = c.run("mm", &good, Some(10_000)).expect("probe");
+    assert_eq!(resp.status, 200, "probe: {}", resp.text());
+    let resp = c.run("mm", &good, Some(10_000)).expect("closed");
+    assert_eq!(resp.status, 200, "closed: {}", resp.text());
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+}
+
+/// Concurrent same-function requests coalesce into batched runs when
+/// the function is declared batchable — without changing any result.
+#[test]
+fn dynamic_batching_coalesces_without_changing_results() {
+    let _l = lock();
+    let cfg = ServerConfig {
+        workers: 1, // one worker: batchable work piles up behind `spin`
+        max_batch: 8,
+        ..ServerConfig::default()
+    };
+    let reg_cfg = RegistryConfig {
+        batch_fns: Some(vec!["quick".to_string()]),
+        ..RegistryConfig::default()
+    };
+    let server = boot(SPIN, cfg, &reg_cfg);
+    let addr = server.addr().to_string();
+
+    let before = {
+        let mut c = Client::connect(&addr).expect("connect");
+        let resp = c.request("GET", "/stats", "", "").expect("stats");
+        (
+            stat(&resp.text(), "batches"),
+            stat(&resp.text(), "batch_members"),
+        )
+    };
+
+    std::thread::scope(|scope| {
+        // occupy the single worker...
+        let spin_addr = addr.clone();
+        let spin = scope.spawn(move || {
+            let mut c = Client::connect(&spin_addr).expect("connect");
+            let resp = c.run("spin", SPIN_BUSY, Some(60_000)).expect("spin");
+            assert_eq!(resp.status, 200, "{}", resp.text());
+        });
+        std::thread::sleep(Duration::from_millis(150)); // let spin get picked up
+                                                        // ...while four batchable requests queue behind it
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect");
+                    let x = 1.0 + i as f32;
+                    let resp = c
+                        .run("quick", &format!("{{\"args\":[{x}]}}"), Some(60_000))
+                        .expect("quick");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    let out = parse_outputs(&resp.text()).expect("outputs");
+                    assert_eq!(out.len(), 1);
+                    assert_eq!(
+                        out[0].scalar_value_f32().expect("scalar").to_bits(),
+                        (x * 2.0).to_bits(),
+                        "member {i} got a wrong value"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("quick thread");
+        }
+        spin.join().expect("spin thread");
+    });
+
+    let mut c = Client::connect(&addr).expect("connect");
+    let resp = c.request("GET", "/stats", "", "").expect("stats");
+    let batches = stat(&resp.text(), "batches");
+    let members = stat(&resp.text(), "batch_members");
+    assert!(
+        batches > before.0 && members >= before.1 + 2,
+        "no batch formed: batches {} -> {batches}, members {} -> {members}",
+        before.0,
+        before.1
+    );
+    let report = server.shutdown(Duration::from_secs(10));
+    assert!(report.clean);
+}
+
+/// Graceful drain: in-flight work finishes, new work is refused with
+/// 503 `draining`, and after teardown the tensor memory ledger is back
+/// at its pre-server baseline — serving leaks nothing.
+#[test]
+fn graceful_drain_finishes_inflight_and_restores_memory_ledger() {
+    let _l = lock();
+    mem::track_begin();
+    let src = SPIN;
+    let reg_cfg = RegistryConfig::default();
+
+    // warm cycle: populate the process-global staging cache and any
+    // lazily-allocated constants, then measure the baseline
+    {
+        let server = boot(src, ServerConfig::default(), &reg_cfg);
+        let mut c = Client::connect(server.addr().to_string()).expect("connect");
+        let resp = c
+            .run("quick", "{\"args\":[1.0]}", Some(30_000))
+            .expect("warm");
+        assert_eq!(resp.status, 200);
+        drop(c);
+        let report = server.shutdown(Duration::from_secs(10));
+        assert!(report.clean);
+    }
+    std::thread::sleep(Duration::from_millis(100)); // detached threads wind down
+    let baseline = mem::snapshot().live_bytes;
+
+    // serving cycle with work in flight across the drain
+    {
+        let cfg = ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        };
+        let server = boot(src, cfg, &reg_cfg);
+        let addr = server.addr().to_string();
+        let slow = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                c.run("spin", SPIN_BUSY, Some(60_000)).expect("slow")
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100)); // in flight now
+        let drain_t0 = Instant::now();
+        let report = server.shutdown(Duration::from_secs(30));
+        assert!(report.clean, "drain left {} in flight", report.abandoned);
+        // the in-flight request finished with a real answer
+        let resp = slow.join().expect("slow thread");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert!(drain_t0.elapsed() < Duration::from_secs(30));
+        // a post-drain connection is refused cleanly, not hung
+        if let Ok(mut c) = Client::connect(&addr) {
+            let outcome = c.run("quick", "{\"args\":[1.0]}", Some(1_000));
+            if let Ok(resp) = outcome {
+                assert_eq!(
+                    resp.status,
+                    503,
+                    "draining server must refuse: {}",
+                    resp.text()
+                );
+            } // a connection error is equally acceptable — the listener is gone
+        }
+    }
+
+    // ledger must return to baseline once the server is torn down
+    let t0 = Instant::now();
+    let mut live = mem::snapshot().live_bytes;
+    while live != baseline && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(50));
+        live = mem::snapshot().live_bytes;
+    }
+    mem::track_end();
+    assert_eq!(
+        live,
+        baseline,
+        "serving cycle leaked {} bytes of tensors",
+        live.saturating_sub(baseline)
+    );
+}
