@@ -60,7 +60,7 @@ pub use ir::{Graph, NodeId, OpKind, PassRecord, ProvSource, SubGraph};
 pub use optimize::{ElimRecord, OptTrace};
 pub use report::{CriticalPath, MemReport, NodeCost, RunReport, SchedReport, WorkerReport};
 pub use run::{CancelToken, RunOptions};
-pub use session::{set_default_exec_mode, ExecMode, Session};
+pub use session::{set_default_exec_mode, ExecMode, NodeSelfTime, Session, SessionStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

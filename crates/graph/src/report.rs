@@ -82,7 +82,7 @@ pub struct MemReport {
 /// One pool thread's share of the run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerReport {
-    /// Thread label (`ag-par-N`, or the helping caller thread's name).
+    /// Thread label (`par-worker-N`, or the helping caller thread's name).
     pub label: String,
     /// Nanoseconds this thread spent executing pool tasks.
     pub busy_ns: u64,
@@ -637,7 +637,7 @@ mod tests {
             },
             sched: SchedReport {
                 workers: vec![WorkerReport {
-                    label: "ag-par-0".to_string(),
+                    label: "par-worker-0".to_string(),
                     busy_ns: 900_000,
                     tasks: 11,
                     utilization: 0.9,

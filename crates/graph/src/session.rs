@@ -18,7 +18,7 @@
 
 use crate::exec::{ExecEnv, Plan};
 use crate::ir::{GValue, Graph, NodeId};
-use crate::report::{self, RunReport};
+use crate::report::{self, NodeCost, RunReport};
 use crate::run::{RunCtx, RunOptions};
 use crate::Result;
 use autograph_obs as obs;
@@ -128,6 +128,39 @@ fn resolve_threads(session_threads: Option<usize>) -> usize {
     }
 }
 
+/// A rolling estimate of one node's per-run self-time, fed from
+/// [`RunReport::node_costs`] whenever reporting is enabled. The
+/// exponentially weighted moving average (α = 1/8) smooths run-to-run
+/// noise while still tracking drift; the first sample seeds the
+/// estimate directly. This is the stable cost signal a future
+/// cost-aware scheduler reads — nothing in the run path consumes it
+/// yet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSelfTime {
+    /// The node's staged name.
+    pub name: String,
+    /// Op mnemonic.
+    pub op: &'static str,
+    /// EWMA of the node's per-run self-time, in nanoseconds.
+    pub ewma_ns: u64,
+    /// How many reported runs have contributed a sample.
+    pub samples: u64,
+}
+
+impl NodeSelfTime {
+    /// Fold one run's self-time sample into the estimate. The first
+    /// sample seeds the EWMA; later samples blend in at α = 1/8:
+    /// `new = old − old/8 + sample/8`.
+    fn observe(&mut self, self_ns: u64) {
+        if self.samples == 0 {
+            self.ewma_ns = self_ns;
+        } else {
+            self.ewma_ns = self.ewma_ns - self.ewma_ns / 8 + self_ns / 8;
+        }
+        self.samples += 1;
+    }
+}
+
 /// Plan-cache accounting snapshot for one [`Session`], returned by
 /// [`Session::stats`]. A miss means a fetch set was compiled; a hit
 /// means an existing plan was reused. Build time is tracked per fetch
@@ -146,6 +179,9 @@ pub struct SessionStats {
     /// Staged `While` iterations completed across all runs (failed runs
     /// included).
     pub while_iters: u64,
+    /// Per-node self-time EWMAs accumulated from reported runs (empty
+    /// unless [`Session::set_reporting`] was on for at least one run).
+    pub node_self_ewma: HashMap<NodeId, NodeSelfTime>,
 }
 
 impl SessionStats {
@@ -166,6 +202,7 @@ pub struct SessionStatsShared {
     build_ns: Mutex<HashMap<Vec<NodeId>, u64>>,
     nodes_executed: AtomicU64,
     while_iters: AtomicU64,
+    node_ewma: Mutex<HashMap<NodeId, NodeSelfTime>>,
 }
 
 impl SessionStatsShared {
@@ -189,6 +226,31 @@ impl SessionStatsShared {
         self.while_iters.load(Ordering::Relaxed)
     }
 
+    /// Current per-node self-time EWMAs (empty until a reported run
+    /// lands samples).
+    pub fn node_self_ewma(&self) -> HashMap<NodeId, NodeSelfTime> {
+        self.node_ewma
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Fold one reported run's per-node costs into the rolling
+    /// self-time estimates.
+    pub fn fold_node_costs(&self, costs: &[NodeCost]) {
+        let mut ewma = self.node_ewma.lock().unwrap_or_else(|p| p.into_inner());
+        for c in costs {
+            ewma.entry(c.node)
+                .or_insert_with(|| NodeSelfTime {
+                    name: c.name.clone(),
+                    op: c.op,
+                    ewma_ns: 0,
+                    samples: 0,
+                })
+                .observe(c.self_ns);
+        }
+    }
+
     /// Snapshot the counters into a plain [`SessionStats`].
     pub fn snapshot(&self) -> SessionStats {
         SessionStats {
@@ -201,6 +263,7 @@ impl SessionStatsShared {
                 .clone(),
             nodes_executed: self.nodes_executed.load(Ordering::Relaxed),
             while_iters: self.while_iters.load(Ordering::Relaxed),
+            node_self_ewma: self.node_self_ewma(),
         }
     }
 }
@@ -471,6 +534,7 @@ impl Session {
                     obs::gauge_dyn("sched", || format!("busy_ns[{}]", w.label), w.busy_ns);
                 }
             }
+            self.stats.fold_node_costs(&run_report.node_costs);
             self.last_report = Some(run_report);
         }
         result
@@ -553,6 +617,62 @@ mod tests {
             sess.stats().total_build_ns(),
             sess.stats().plan_build_ns[&vec![s]]
         );
+    }
+
+    #[test]
+    fn node_ewma_seeds_then_blends_at_one_eighth() {
+        use autograph_pylang::Span;
+        let shared = SessionStatsShared::default();
+        let cost = |self_ns| NodeCost {
+            node: 0,
+            name: "mul_0".to_string(),
+            op: "Mul",
+            span: Span::new(1, 1),
+            self_ns,
+            alloc_bytes: 0,
+            evals: 1,
+        };
+        // first sample seeds the estimate directly
+        shared.fold_node_costs(&[cost(800)]);
+        let e = shared.node_self_ewma()[&0].clone();
+        assert_eq!(e.ewma_ns, 800);
+        assert_eq!(e.samples, 1);
+        // second sample blends at α = 1/8: 800 − 100 + 0 = 700
+        shared.fold_node_costs(&[cost(0)]);
+        let e = shared.node_self_ewma()[&0].clone();
+        assert_eq!(e.ewma_ns, 700);
+        assert_eq!(e.samples, 2);
+        // a third sample keeps moving toward the new level
+        shared.fold_node_costs(&[cost(0)]);
+        let e = shared.node_self_ewma()[&0].clone();
+        assert_eq!(e.ewma_ns, 613); // 700 − 87
+        assert_eq!(e.name, "mul_0");
+        assert_eq!(e.op, "Mul");
+    }
+
+    #[test]
+    fn reported_runs_accumulate_node_self_time_ewmas() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x");
+        let two = b.scalar(2.0);
+        let y = b.mul(x, two);
+        let mut sess = Session::new(b.finish());
+        // unreported runs leave the estimate table empty
+        sess.run(&[("x", Tensor::scalar_f32(1.0))], &[y]).unwrap();
+        assert!(sess.stats().node_self_ewma.is_empty());
+        sess.set_reporting(true);
+        sess.run(&[("x", Tensor::scalar_f32(1.0))], &[y]).unwrap();
+        sess.run(&[("x", Tensor::scalar_f32(1.0))], &[y]).unwrap();
+        let stats = sess.stats();
+        assert!(!stats.node_self_ewma.is_empty());
+        let report = sess.last_report().unwrap();
+        for c in &report.node_costs {
+            let e = &stats.node_self_ewma[&c.node];
+            assert_eq!(e.name, c.name);
+            assert_eq!(e.samples, 2, "one sample per reported run");
+        }
+        // the live handle exposes the same table for concurrent readers
+        assert_eq!(sess.stats_handle().node_self_ewma(), stats.node_self_ewma);
     }
 
     #[test]

@@ -101,6 +101,22 @@ impl TraceRecorder {
                 value,
             ));
         }
+        // process/thread metadata ("M") events so chrome://tracing shows
+        // thread names (serve-worker-N, par-worker-N, main) instead of
+        // bare tids; lanes are registered lazily by thread_lane()
+        if !first {
+            out.push(',');
+        }
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"autograph\"}}",
+        );
+        for (lane, name) in crate::lane_names() {
+            out.push_str(&format!(
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                lane,
+                json_string(&name),
+            ));
+        }
         out.push_str("],\"otherData\":{\"droppedEvents\":");
         out.push_str(&state.dropped.to_string());
         out.push_str("}}");
@@ -196,7 +212,13 @@ mod tests {
         t.span("graph_op", "weird \"name\"\n", 4_000, 10);
         t.count("session", "plan_miss", 1);
         let doc = serde_json::from_str(&t.to_json()).expect("valid JSON");
-        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        let all = doc["traceEvents"].as_array().expect("traceEvents array");
+        // metadata ("M") events are appended by the exporter; the
+        // data events keep their order ahead of them
+        let events: Vec<_> = all
+            .iter()
+            .filter(|e| e["ph"].as_str() != Some("M"))
+            .collect();
         assert_eq!(events.len(), 3);
         assert_eq!(events[0]["name"].as_str(), Some("matmul"));
         assert_eq!(events[0]["ph"].as_str(), Some("X"));
@@ -206,6 +228,35 @@ mod tests {
         assert_eq!(events[2]["ph"].as_str(), Some("C"));
         assert_eq!(events[2]["args"]["value"].as_u64(), Some(1));
         assert_eq!(doc["otherData"]["droppedEvents"].as_u64(), Some(0));
+        // the process is always named
+        assert!(
+            all.iter().any(
+                |e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("process_name")
+            ),
+            "process_name metadata event missing"
+        );
+    }
+
+    #[test]
+    fn named_threads_get_thread_name_metadata_events() {
+        // touching thread_lane() from a named thread registers its lane;
+        // registration is process-global, so any recorder exports it
+        std::thread::Builder::new()
+            .name("serve-worker-99".to_string())
+            .spawn(crate::thread_lane)
+            .expect("spawn")
+            .join()
+            .expect("join");
+        let t = TraceRecorder::new();
+        let doc = serde_json::from_str(&t.to_json()).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        let named = events.iter().any(|e| {
+            e["ph"].as_str() == Some("M")
+                && e["name"].as_str() == Some("thread_name")
+                && e["args"]["name"].as_str() == Some("serve-worker-99")
+                && e["tid"].as_u64().is_some()
+        });
+        assert!(named, "expected a thread_name M event for serve-worker-99");
     }
 
     #[test]
@@ -220,7 +271,11 @@ mod tests {
         t.span("graph_op", &nasty, 0, 1);
         t.gauge("mem", &nasty, 42);
         let doc = serde_json::from_str(&t.to_json()).expect("valid JSON");
-        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        let all = doc["traceEvents"].as_array().expect("traceEvents array");
+        let events: Vec<_> = all
+            .iter()
+            .filter(|e| e["ph"].as_str() != Some("M"))
+            .collect();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0]["name"].as_str(), Some(nasty.as_str()));
         assert_eq!(events[1]["name"].as_str(), Some(nasty.as_str()));

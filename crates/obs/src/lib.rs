@@ -34,12 +34,15 @@ pub mod metrics;
 pub mod recorder;
 
 pub use chrome::TraceRecorder;
-pub use metrics::{AggregateRecorder, Histogram, Summary};
+pub use metrics::{
+    AggregateRecorder, AtomicHistogram, HistSnapshot, Histogram, ShardedCounter, Summary,
+};
 pub use recorder::{FanoutRecorder, Recorder, StreamingRecorder};
 
 use std::borrow::Cow;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -85,14 +88,67 @@ pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
+static LANE_NAMES: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+
 /// A small dense id for the current thread (Chrome traces want an
-/// integer `tid`).
+/// integer `tid`). On first call from a thread its OS thread name is
+/// captured into the lane registry ([`lane_names`]) so trace exporters
+/// can emit human-readable thread labels.
 pub fn thread_lane() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
-        static LANE: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+        static LANE: u64 = {
+            let lane = NEXT.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{lane}"));
+            if let Ok(mut names) = LANE_NAMES.lock() {
+                names.push((lane, name));
+            }
+            lane
+        };
     }
     LANE.with(|l| *l)
+}
+
+/// All `(lane, thread name)` pairs registered so far, in registration
+/// order. Lanes are registered lazily the first time a thread calls
+/// [`thread_lane`] (directly or via any recorder hook).
+pub fn lane_names() -> Vec<(u64, String)> {
+    LANE_NAMES.lock().map(|v| v.clone()).unwrap_or_default()
+}
+
+thread_local! {
+    /// Request id the current thread is working on behalf of (0 = none).
+    static REQUEST_CTX: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request id associated with the current thread, or 0 when none
+/// was set. Serving layers set this around execution so recorders can
+/// attribute executor spans back to the HTTP request that caused them.
+#[inline]
+pub fn request_ctx() -> u64 {
+    REQUEST_CTX.with(|c| c.get())
+}
+
+/// Associate `id` with the current thread until the returned guard is
+/// dropped (the previous value is restored, so nesting is safe).
+#[must_use = "the request context is cleared when the guard drops"]
+pub fn set_request_ctx(id: u64) -> RequestCtxGuard {
+    let prev = REQUEST_CTX.with(|c| c.replace(id));
+    RequestCtxGuard { prev }
+}
+
+/// Restores the prior request context on drop. See [`set_request_ctx`].
+pub struct RequestCtxGuard {
+    prev: u64,
+}
+
+impl Drop for RequestCtxGuard {
+    fn drop(&mut self) {
+        REQUEST_CTX.with(|c| c.set(self.prev));
+    }
 }
 
 /// An open span: records `(category, name, start, duration)` to the
@@ -251,5 +307,33 @@ mod tests {
         // values recorded after uninstall are dropped
         count("t", "c", 100);
         assert_eq!(agg.summary().counter("t/c"), Some(2));
+    }
+
+    #[test]
+    fn request_ctx_nests_and_restores() {
+        assert_eq!(request_ctx(), 0);
+        {
+            let _outer = set_request_ctx(7);
+            assert_eq!(request_ctx(), 7);
+            {
+                let _inner = set_request_ctx(11);
+                assert_eq!(request_ctx(), 11);
+            }
+            assert_eq!(request_ctx(), 7);
+        }
+        assert_eq!(request_ctx(), 0);
+    }
+
+    #[test]
+    fn thread_lane_registers_thread_name() {
+        let lane = std::thread::Builder::new()
+            .name("lane-name-probe".to_string())
+            .spawn(thread_lane)
+            .expect("spawn")
+            .join()
+            .expect("join");
+        let names = lane_names();
+        let hit = names.iter().find(|(l, _)| *l == lane).expect("registered");
+        assert_eq!(hit.1, "lane-name-probe");
     }
 }

@@ -1,9 +1,250 @@
 //! In-memory aggregation: log-bucketed histograms, saturating counters,
-//! and the per-op summary table exporter.
+//! and the per-op summary table exporter — plus the lock-free
+//! fixed-bucket primitives ([`ShardedCounter`], [`AtomicHistogram`])
+//! the live `/metrics` exporter is built on.
 
 use crate::recorder::Recorder;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Shards per [`ShardedCounter`]; must be a power of two so the lane
+/// index reduces to a mask.
+const COUNTER_SHARDS: usize = 8;
+
+/// One cache line per shard so concurrent writers on different cores
+/// never contend on the same line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A monotonic counter sharded across cache lines.
+///
+/// [`add`](ShardedCounter::add) is a single relaxed `fetch_add` on the
+/// shard picked by the caller's [`thread lane`](crate::thread_lane) —
+/// no locks, no allocation — so it is safe on the serving hot path.
+/// [`get`](ShardedCounter::get) sums the shards; under concurrent
+/// writers the result is a consistent lower bound that never decreases
+/// across successive reads (each shard is monotonic). Shards are plain
+/// wrapping `u64`s — at one event per nanosecond that is ~585 years to
+/// a wrap, so saturation logic is not worth a CAS loop here.
+#[derive(Debug, Default)]
+pub struct ShardedCounter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl ShardedCounter {
+    /// A zeroed counter.
+    pub fn new() -> ShardedCounter {
+        ShardedCounter::default()
+    }
+
+    /// Add `delta`. One relaxed atomic RMW, zero allocation.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        let idx = crate::thread_lane() as usize & (COUNTER_SHARDS - 1);
+        self.shards[idx].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::saturating_add)
+    }
+}
+
+/// Default latency buckets in nanoseconds: 50µs → 10s, roughly
+/// logarithmic, matching the sub-millisecond-to-seconds range the
+/// serving layer sees. The exporter renders these as Prometheus `le`
+/// bounds in seconds.
+pub const LATENCY_BUCKETS_NS: &[u64] = &[
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// Buckets for ratios expressed in permille (‰): deadline budget
+/// consumed, utilization. 1000 = the full budget; >1000 = overrun.
+pub const PERMILLE_BUCKETS: &[u64] = &[10, 25, 50, 100, 250, 500, 750, 900, 1000, 1500, 2000];
+
+/// A fixed-bucket histogram recordable concurrently without locks.
+///
+/// `record` is two relaxed atomic `fetch_add`s (the bucket counter and
+/// the sharded sum) and zero allocation. Bucket bounds are *inclusive*
+/// upper bounds in ascending order; values above the last bound land in
+/// the overflow bucket. Prometheus histogram semantics (`le` bounds,
+/// cumulative buckets, `+Inf`) are derived at export time from a
+/// [`snapshot`](AtomicHistogram::snapshot).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    bounds: &'static [u64],
+    /// `bounds.len() + 1` counters; the last is the overflow bucket.
+    buckets: Box<[AtomicU64]>,
+    sum: ShardedCounter,
+}
+
+impl AtomicHistogram {
+    /// A histogram over `bounds` (inclusive upper bounds, ascending,
+    /// non-empty — typically [`LATENCY_BUCKETS_NS`]).
+    pub fn new(bounds: &'static [u64]) -> AtomicHistogram {
+        debug_assert!(!bounds.is_empty());
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let buckets = (0..bounds.len() + 1)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        AtomicHistogram {
+            bounds,
+            buckets,
+            sum: ShardedCounter::new(),
+        }
+    }
+
+    /// Record one value. Two relaxed atomics, zero allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(v);
+    }
+
+    /// The configured bucket bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    ///
+    /// Concurrent `record`s may or may not be included (each whole
+    /// observation lands in exactly one bucket, so nothing is ever
+    /// double-counted); the snapshot's count is derived from the bucket
+    /// counts themselves and is therefore always internally consistent.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            bounds: self.bounds,
+            buckets,
+            sum: self.sum.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of an [`AtomicHistogram`]: per-bucket
+/// (non-cumulative) counts, the value sum, and the bounds they were
+/// recorded against.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Inclusive upper bounds, ascending (the overflow bucket has no
+    /// bound and is `buckets.last()`).
+    pub bounds: &'static [u64],
+    /// `bounds.len() + 1` per-bucket counts (last = overflow).
+    pub buckets: Vec<u64>,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot over `bounds`.
+    pub fn empty(bounds: &'static [u64]) -> HistSnapshot {
+        HistSnapshot {
+            bounds,
+            buckets: vec![0; bounds.len() + 1],
+            sum: 0,
+        }
+    }
+
+    /// Total observations (the sum of the bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// The observations that happened after `earlier` was taken:
+    /// bucket-wise saturating subtraction. Both snapshots must share
+    /// bounds. Used by the rolling SLO windows.
+    pub fn delta_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        debug_assert_eq!(self.bounds.as_ptr(), earlier.bounds.as_ptr());
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(&now, &then)| now.saturating_sub(then))
+            .collect();
+        HistSnapshot {
+            bounds: self.bounds,
+            buckets,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Estimate the `q`-quantile by nearest rank over the buckets with
+    /// linear interpolation inside the bucket. Returns 0 for an empty
+    /// snapshot; observations in the overflow bucket report the last
+    /// finite bound (the histogram cannot know how far past it they
+    /// landed). `q` outside `[0, 1]` is clamped; NaN behaves as 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        // 1-based nearest rank: ceil(q * N), clamped into [1, N]
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen;
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                if idx >= self.bounds.len() {
+                    // overflow: no upper bound to interpolate toward
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lower = if idx == 0 { 0 } else { self.bounds[idx - 1] };
+                let upper = self.bounds[idx];
+                let into = (rank - before) as f64 / n as f64;
+                return lower + ((upper - lower) as f64 * into) as u64;
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// Fraction of observations strictly above `threshold` (0.0 when
+    /// empty). `threshold` should be one of the bucket bounds for an
+    /// exact answer; otherwise the containing bucket counts as "over".
+    pub fn frac_over(&self, threshold: u64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let cut = self.bounds.partition_point(|&b| b <= threshold);
+        let over: u64 = self.buckets[cut..]
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b));
+        over as f64 / count as f64
+    }
+}
 
 /// Number of histogram buckets: 16 exact small-value buckets plus 4
 /// sub-buckets per power of two up to `u64::MAX`.
@@ -512,5 +753,165 @@ mod tests {
         assert!(table.contains("graph_op/matmul"), "{table}");
         assert!(table.contains("session/plan_hit"), "{table}");
         assert!(table.contains("p99"), "{table}");
+    }
+
+    // ---- AtomicHistogram / ShardedCounter edge cases ----
+
+    #[test]
+    fn sharded_counter_sums_across_threads_exactly() {
+        let c = std::sync::Arc::new(ShardedCounter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.add(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn atomic_histogram_bucket_placement_and_overflow() {
+        let h = AtomicHistogram::new(LATENCY_BUCKETS_NS);
+        // exactly on a bound → that bucket (bounds are inclusive)
+        h.record(50_000);
+        // between bounds → the next bucket up
+        h.record(60_000);
+        // above the last bound → overflow bucket
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1, "50µs lands in the first bucket");
+        assert_eq!(s.buckets[1], 1, "60µs lands in the 100µs bucket");
+        assert_eq!(
+            s.buckets[LATENCY_BUCKETS_NS.len()],
+            1,
+            "u64::MAX lands in the overflow bucket"
+        );
+        assert_eq!(s.count(), 3);
+        // quantiles with mass in the overflow bucket report the last
+        // finite bound — never a wrapped or invented value
+        assert_eq!(s.quantile(1.0), *LATENCY_BUCKETS_NS.last().expect("bounds"));
+    }
+
+    #[test]
+    fn atomic_histogram_zero_observations() {
+        let h = AtomicHistogram::new(LATENCY_BUCKETS_NS);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sum, 0);
+        for q in [0.0, 0.5, 0.99, 1.0, f64::NAN] {
+            assert_eq!(s.quantile(q), 0);
+        }
+        assert_eq!(s.frac_over(0), 0.0);
+        // delta of two empty snapshots is empty
+        let d = s.delta_since(&HistSnapshot::empty(LATENCY_BUCKETS_NS));
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_recording_sums_exactly() {
+        let h = std::sync::Arc::new(AtomicHistogram::new(LATENCY_BUCKETS_NS));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    // spread across many buckets
+                    h.record((t + 1) * 40_000 + i * 1_000);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        let s = h.snapshot();
+        assert_eq!(
+            s.count(),
+            40_000,
+            "every record lands in exactly one bucket"
+        );
+        let expected: u64 = (0..8u64)
+            .flat_map(|t| (0..5_000u64).map(move |i| (t + 1) * 40_000 + i * 1_000))
+            .sum();
+        assert_eq!(s.sum, expected);
+    }
+
+    #[test]
+    fn snapshot_while_recording_never_double_counts() {
+        let h = std::sync::Arc::new(AtomicHistogram::new(LATENCY_BUCKETS_NS));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for _ in 0..4 {
+            let h = h.clone();
+            let stop = stop.clone();
+            writers.push(std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    h.record(1_000_000);
+                    n += 1;
+                }
+                n
+            }));
+        }
+        // snapshot continuously while writers hammer the histogram:
+        // counts must be monotonic (no double-counting, no tearing)
+        let mut last = 0u64;
+        for _ in 0..200 {
+            let c = h.snapshot().count();
+            assert!(c >= last, "snapshot count went backwards: {last} -> {c}");
+            last = c;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().expect("join")).sum();
+        assert_eq!(h.snapshot().count(), total, "final count is exact");
+    }
+
+    #[test]
+    fn hist_snapshot_delta_and_quantiles() {
+        let h = AtomicHistogram::new(LATENCY_BUCKETS_NS);
+        for _ in 0..90 {
+            h.record(200_000); // 0.2ms → (100µs, 250µs] bucket
+        }
+        let early = h.snapshot();
+        for _ in 0..10 {
+            h.record(2_000_000_000); // 2s → (1s, 2.5s] bucket
+        }
+        let late = h.snapshot();
+        let delta = late.delta_since(&early);
+        assert_eq!(delta.count(), 10);
+        assert_eq!(delta.sum, 20_000_000_000);
+        // only the slow tail is in the delta window
+        assert!(delta.quantile(0.5) > 1_000_000_000);
+        // full snapshot: p50 in the fast bucket, p99+ in the slow one
+        let p50 = late.quantile(0.50);
+        assert!(
+            (100_000..=250_000).contains(&p50),
+            "p50={p50} expected in the 0.1–0.25ms bucket"
+        );
+        assert!(late.quantile(0.99) > 1_000_000_000);
+        // SLO burn helper: 10% of requests exceed a 1s threshold
+        let over = late.frac_over(1_000_000_000);
+        assert!((over - 0.10).abs() < 1e-9, "over={over}");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let h = AtomicHistogram::new(LATENCY_BUCKETS_NS);
+        for _ in 0..100 {
+            h.record(150_000); // all mass in the (100µs, 250µs] bucket
+        }
+        let s = h.snapshot();
+        let q10 = s.quantile(0.10);
+        let q90 = s.quantile(0.90);
+        assert!(
+            (100_000..=250_000).contains(&q10) && (100_000..=250_000).contains(&q90),
+            "quantiles stay inside the bucket: q10={q10} q90={q90}"
+        );
+        assert!(q10 < q90, "interpolation is monotonic in q");
     }
 }

@@ -116,7 +116,7 @@ pub fn configure(threads: usize) {
     while *spawned + 1 < threads {
         let idx = *spawned;
         let worker = std::thread::Builder::new()
-            .name(format!("ag-par-{idx}"))
+            .name(format!("par-worker-{idx}"))
             .spawn(move || worker_loop(idx));
         if worker.is_err() {
             // can't get more OS threads: run degraded — callers always
@@ -268,8 +268,8 @@ fn my_worker_stats() -> Arc<WorkerStats> {
 /// One thread's cumulative metered totals.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerSnapshot {
-    /// Thread label (`ag-par-N` for pool workers, the thread name or
-    /// `caller-<lane>` for helping threads).
+    /// Thread label (`par-worker-N` for pool workers, the thread name
+    /// or `caller-<lane>` for helping threads).
     pub label: String,
     /// Nanoseconds spent executing tasks while metering was on.
     pub busy_ns: u64,

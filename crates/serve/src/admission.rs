@@ -23,6 +23,7 @@
 
 use crate::error::ServeError;
 use crate::registry::FnEntry;
+use crate::telemetry::RequestTrace;
 use autograph_graph::run::CancelToken;
 use autograph_tensor::Tensor;
 use std::collections::VecDeque;
@@ -46,6 +47,8 @@ pub struct Job {
     /// Where the worker sends the outcome; the connection thread blocks
     /// on the other end.
     pub resp: SyncSender<Result<Vec<Tensor>, ServeError>>,
+    /// The request's trace context (id + sampled span collection).
+    pub trace: Arc<RequestTrace>,
 }
 
 impl Job {
@@ -263,6 +266,7 @@ mod tests {
             deadline: Instant::now() + deadline,
             cancel: CancelToken::new(),
             resp: tx,
+            trace: RequestTrace::detached("test"),
         }
     }
 
@@ -309,6 +313,7 @@ mod tests {
             deadline: Instant::now() - Duration::from_millis(1),
             cancel: CancelToken::new(),
             resp: tx,
+            trace: RequestTrace::detached("expired"),
         };
         q.lock().queue.push_back(expired);
         assert!(q.try_admit(job(&entry, Duration::from_secs(5))).is_ok());

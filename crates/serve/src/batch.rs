@@ -104,6 +104,7 @@ mod tests {
             deadline: Instant::now() + Duration::from_secs(5),
             cancel: CancelToken::new(),
             resp: tx,
+            trace: crate::telemetry::RequestTrace::detached("test"),
         }
     }
 

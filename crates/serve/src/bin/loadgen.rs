@@ -18,6 +18,8 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use autograph_serve::client::{wait_ready, Client};
+use autograph_serve::prom::{self, Scrape};
+use autograph_serve::server::REQUIRED_METRIC_FAMILIES;
 use serde_json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,15 +36,63 @@ struct Args {
     warmup: usize,
     json: Option<String>,
     key: String,
+    scrape_metrics: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: autograph-loadgen (--addr HOST:PORT | --addr-file FILE) --function NAME\n\
          \x20  [--body JSON] [--threads N] [--requests N] [--deadline-ms N] [--warmup N]\n\
-         \x20  [--json FILE] [--key SECTION]"
+         \x20  [--json FILE] [--key SECTION] [--scrape-metrics]"
     );
     std::process::exit(2);
+}
+
+/// Latency percentile by the **nearest-rank** definition: over `N`
+/// ascending values, the p-th percentile is the value at 1-based rank
+/// `⌈p·N⌉` (clamped to `[1, N]`) — an actually-observed sample, never
+/// an interpolation. Input is ascending microseconds; the result is
+/// milliseconds. Empty input yields 0.
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let n = sorted_us.len();
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted_us[rank - 1] as f64 / 1000.0
+}
+
+/// `GET /metrics` and strictly parse/validate the exposition document.
+fn scrape_metrics(addr: &str) -> Result<Scrape, String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect for /metrics: {e}"))?;
+    let resp = c
+        .request("GET", "/metrics", "", "")
+        .map_err(|e| format!("GET /metrics: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/metrics returned {}", resp.status));
+    }
+    prom::parse_and_validate(&resp.text())
+}
+
+/// Cross-scrape invariants: every required family is present after the
+/// burst, and no counter (or histogram bucket/sum/count) went backwards.
+fn check_scrapes(before: &Scrape, after: &Scrape) -> Result<(), String> {
+    for fam in REQUIRED_METRIC_FAMILIES {
+        if !after.has_family(fam) {
+            return Err(format!("required metric family '{fam}' is missing"));
+        }
+    }
+    let earlier = before.monotonic_samples();
+    for (key, v_after) in after.monotonic_samples() {
+        if let Some(v_before) = earlier.get(&key) {
+            if v_after < *v_before {
+                return Err(format!(
+                    "counter '{key}' went backwards across scrapes: {v_before} -> {v_after}"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn parse_args() -> Args {
@@ -57,6 +107,7 @@ fn parse_args() -> Args {
         warmup: 5,
         json: None,
         key: "run".to_string(),
+        scrape_metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -82,6 +133,7 @@ fn parse_args() -> Args {
             "--warmup" => args.warmup = parse_num(&value("--warmup"), "--warmup"),
             "--json" => args.json = Some(value("--json")),
             "--key" => args.key = value("--key"),
+            "--scrape-metrics" => args.scrape_metrics = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -109,11 +161,12 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
 #[derive(Default)]
 struct Counters {
     ok: AtomicU64,
-    shed: AtomicU64,       // 503
-    deadline: AtomicU64,   // 504
-    client_4xx: AtomicU64, // 4xx incl. 499
-    server_5xx: AtomicU64, // 500 (real failures)
-    transport: AtomicU64,  // socket-level trouble
+    shed: AtomicU64,        // 503
+    deadline: AtomicU64,    // 504
+    client_4xx: AtomicU64,  // 4xx incl. 499
+    server_5xx: AtomicU64,  // 500 (real failures)
+    transport: AtomicU64,   // socket-level trouble
+    id_mismatch: AtomicU64, // X-Request-Id echo didn't match what we sent
 }
 
 fn main() {
@@ -151,10 +204,24 @@ fn main() {
         }
     }
 
+    // scrape /metrics before the burst so the post-burst scrape can
+    // assert counters only ever moved forward
+    let scrape_before = if args.scrape_metrics {
+        match scrape_metrics(&addr) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("pre-burst /metrics scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
     let counters = Arc::new(Counters::default());
     let t0 = Instant::now();
     let handles: Vec<_> = (0..args.threads.max(1))
-        .map(|_| {
+        .map(|ti| {
             let addr = addr.clone();
             let function = args.function.clone();
             let body = args.body.clone();
@@ -162,9 +229,10 @@ fn main() {
             let requests = args.requests;
             let counters = Arc::clone(&counters);
             std::thread::spawn(move || {
+                let run_path = format!("/run/{function}");
                 let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
                 let mut client = Client::connect(&addr).ok();
-                for _ in 0..requests {
+                for seq in 0..requests {
                     let c = match client.as_mut() {
                         Some(c) => c,
                         None => match Client::connect(&addr) {
@@ -181,9 +249,19 @@ fn main() {
                             }
                         },
                     };
+                    // every request carries a propagatable id the server
+                    // echoes back and threads through its span tree
+                    let req_id = format!("lg-{ti}-{seq}");
+                    let mut extra = format!("X-Request-Id: {req_id}\r\n");
+                    if let Some(ms) = deadline_ms {
+                        extra.push_str(&format!("X-Deadline-Ms: {ms}\r\n"));
+                    }
                     let rt0 = Instant::now();
-                    match c.run(&function, &body, deadline_ms) {
+                    match c.request("POST", &run_path, &extra, &body) {
                         Ok(resp) => {
+                            if resp.header("x-request-id") != Some(req_id.as_str()) {
+                                counters.id_mismatch.fetch_add(1, Ordering::Relaxed);
+                            }
                             match resp.status {
                                 200 => {
                                     counters.ok.fetch_add(1, Ordering::Relaxed);
@@ -236,15 +314,8 @@ fn main() {
     let wall = t0.elapsed();
 
     latencies_us.sort_unstable();
-    let pct = |p: f64| -> f64 {
-        if latencies_us.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies_us.len() - 1) as f64 * p).round() as usize;
-        latencies_us[idx.min(latencies_us.len() - 1)] as f64 / 1000.0
-    };
-    let p50_ms = pct(0.50);
-    let p99_ms = pct(0.99);
+    let p50_ms = percentile_ms(&latencies_us, 0.50);
+    let p99_ms = percentile_ms(&latencies_us, 0.99);
     let mean_ms = if latencies_us.is_empty() {
         0.0
     } else {
@@ -256,6 +327,7 @@ fn main() {
     let client_4xx = counters.client_4xx.load(Ordering::Relaxed);
     let server_5xx = counters.server_5xx.load(Ordering::Relaxed);
     let transport = counters.transport.load(Ordering::Relaxed);
+    let id_mismatch = counters.id_mismatch.load(Ordering::Relaxed);
     let total = ok + shed + deadline + client_4xx + server_5xx + transport;
     let throughput_rps = ok as f64 / wall.as_secs_f64().max(1e-9);
     let shed_fraction = if total == 0 {
@@ -263,7 +335,33 @@ fn main() {
     } else {
         shed as f64 / total as f64
     };
-    let all_ok = server_5xx == 0 && transport == 0;
+    let all_ok = server_5xx == 0 && transport == 0 && id_mismatch == 0;
+
+    // the post-burst scrape must parse, carry every required family, and
+    // show every counter at-or-above its pre-burst value
+    let metrics_ok = match (&scrape_before, args.scrape_metrics) {
+        (Some(before), true) => match scrape_metrics(&addr) {
+            Ok(after) => match check_scrapes(before, &after) {
+                Ok(()) => {
+                    eprintln!(
+                        "metrics: {} samples, {} families, counters monotonic",
+                        after.samples.len(),
+                        after.types.len()
+                    );
+                    Some(true)
+                }
+                Err(e) => {
+                    eprintln!("metrics validation failed: {e}");
+                    Some(false)
+                }
+            },
+            Err(e) => {
+                eprintln!("post-burst /metrics scrape failed: {e}");
+                Some(false)
+            }
+        },
+        _ => None,
+    };
 
     println!(
         "loadgen {}x{} on {} ({}): {} ok, {} shed, {} deadline, {} 4xx, {} 5xx, {} transport",
@@ -279,14 +377,24 @@ fn main() {
         transport
     );
     println!(
-        "  latency ms (admitted): p50 {p50_ms:.3}  p99 {p99_ms:.3}  mean {mean_ms:.3}  |  {throughput_rps:.1} req/s  shed {:.1}%",
+        "  latency ms (admitted, nearest-rank): p50 {p50_ms:.3}  p99 {p99_ms:.3}  mean {mean_ms:.3}  |  {throughput_rps:.1} req/s  shed {:.1}%",
         shed_fraction * 100.0
     );
+    println!(
+        "  request ids lg-0-0 .. lg-{}-{} propagated; {} echo mismatch(es)",
+        args.threads.max(1) - 1,
+        args.requests.saturating_sub(1),
+        id_mismatch
+    );
 
-    let section = format!(
-        "{{\"threads\": {}, \"requests_per_thread\": {}, \"p50_ms\": {p50_ms:.6}, \"p99_ms\": {p99_ms:.6}, \"mean_ms\": {mean_ms:.6}, \"throughput_rps\": {throughput_rps:.6}, \"shed_fraction\": {shed_fraction:.6}, \"completed\": {ok}, \"shed\": {shed}, \"deadline_504\": {deadline}, \"client_4xx\": {client_4xx}, \"server_5xx\": {server_5xx}, \"transport\": {transport}, \"all_ok\": {all_ok}}}",
+    let mut section = format!(
+        "{{\"threads\": {}, \"requests_per_thread\": {}, \"p50_ms\": {p50_ms:.6}, \"p99_ms\": {p99_ms:.6}, \"mean_ms\": {mean_ms:.6}, \"throughput_rps\": {throughput_rps:.6}, \"shed_fraction\": {shed_fraction:.6}, \"completed\": {ok}, \"shed\": {shed}, \"deadline_504\": {deadline}, \"client_4xx\": {client_4xx}, \"server_5xx\": {server_5xx}, \"transport\": {transport}, \"all_ok\": {all_ok}",
         args.threads, args.requests
     );
+    if let Some(mok) = metrics_ok {
+        section.push_str(&format!(", \"metrics_ok\": {mok}"));
+    }
+    section.push('}');
     if let Some(path) = &args.json {
         let merged = merge_section(path, &args.key, &section);
         match std::fs::write(path, merged) {
@@ -297,7 +405,7 @@ fn main() {
             }
         }
     }
-    if !all_ok {
+    if !all_ok || metrics_ok == Some(false) {
         std::process::exit(1);
     }
 }
@@ -328,4 +436,44 @@ fn merge_section(path: &str, key: &str, section: &str) -> String {
     out.push_str(section);
     out.push_str("\n}\n");
     out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::percentile_ms;
+
+    #[test]
+    fn nearest_rank_matches_the_definition() {
+        // canonical nearest-rank example: N=5, p95 → rank ⌈0.95·5⌉ = 5
+        let v = [15_000, 20_000, 35_000, 40_000, 50_000];
+        assert_eq!(percentile_ms(&v, 0.05), 15.0); // rank ⌈0.25⌉ = 1
+        assert_eq!(percentile_ms(&v, 0.30), 20.0); // rank ⌈1.5⌉ = 2
+        assert_eq!(percentile_ms(&v, 0.40), 20.0); // rank 2 exactly
+        assert_eq!(percentile_ms(&v, 0.50), 35.0); // rank ⌈2.5⌉ = 3
+        assert_eq!(percentile_ms(&v, 0.95), 50.0); // rank ⌈4.75⌉ = 5
+        assert_eq!(percentile_ms(&v, 1.00), 50.0); // rank 5
+    }
+
+    #[test]
+    fn percentile_always_returns_an_observed_sample() {
+        let v: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        for p in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let got = percentile_ms(&v, p);
+            assert!(
+                v.iter().any(|&us| us as f64 / 1000.0 == got),
+                "p{p} = {got} is not an observed value"
+            );
+        }
+        // p99 over 100 samples is exactly the 99th value (rank 99)
+        assert_eq!(percentile_ms(&v, 0.99), 99.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        assert_eq!(percentile_ms(&[7_000], 0.0), 7.0); // rank clamps to 1
+        assert_eq!(percentile_ms(&[7_000], 1.0), 7.0);
+        assert_eq!(percentile_ms(&[1_000, 2_000], 0.0), 1.0);
+    }
 }

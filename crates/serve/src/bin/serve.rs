@@ -16,7 +16,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use autograph_serve::{ModelRegistry, RegistryConfig, Server, ServerConfig};
+use autograph_serve::{ModelRegistry, RegistryConfig, Server, ServerConfig, TelemetryConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -59,6 +59,9 @@ struct Args {
     breaker_threshold: u32,
     breaker_cooldown_ms: u64,
     drain_deadline_ms: u64,
+    trace_sample: u64,
+    trace_ring: usize,
+    slo_ms: u64,
 }
 
 fn usage() -> ! {
@@ -66,7 +69,8 @@ fn usage() -> ! {
         "usage: autograph-serve --program FILE [--addr HOST:PORT] [--addr-file FILE]\n\
          \x20  [--workers N] [--queue-depth N] [--max-connections N] [--deadline-ms N]\n\
          \x20  [--max-body BYTES] [--batch-fns f,g] [--max-batch N] [--exec-threads N]\n\
-         \x20  [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-deadline-ms N]"
+         \x20  [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-deadline-ms N]\n\
+         \x20  [--trace-sample N] [--trace-ring N] [--slo-ms N]"
     );
     std::process::exit(2);
 }
@@ -87,6 +91,9 @@ fn parse_args() -> Args {
         breaker_threshold: 5,
         breaker_cooldown_ms: 100,
         drain_deadline_ms: 5_000,
+        trace_sample: 0,
+        trace_ring: 64,
+        slo_ms: 25,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -137,6 +144,11 @@ fn parse_args() -> Args {
                 args.drain_deadline_ms =
                     parse_num(&value("--drain-deadline-ms"), "--drain-deadline-ms")
             }
+            "--trace-sample" => {
+                args.trace_sample = parse_num(&value("--trace-sample"), "--trace-sample")
+            }
+            "--trace-ring" => args.trace_ring = parse_num(&value("--trace-ring"), "--trace-ring"),
+            "--slo-ms" => args.slo_ms = parse_num(&value("--slo-ms"), "--slo-ms"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -227,6 +239,11 @@ fn main() {
         default_deadline: Duration::from_millis(args.deadline_ms),
         max_body: args.max_body,
         max_batch: args.max_batch.max(1),
+        telemetry: TelemetryConfig {
+            trace_sample: args.trace_sample,
+            trace_ring: args.trace_ring.max(1),
+            slo_ms: args.slo_ms,
+        },
     };
     let server = match Server::start(registry, cfg) {
         Ok(s) => s,

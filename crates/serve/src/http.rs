@@ -50,6 +50,24 @@ impl Request {
     pub fn deadline_ms(&self) -> Option<u64> {
         self.header("x-deadline-ms")?.trim().parse().ok()
     }
+
+    /// The client-supplied `X-Request-Id`, sanitized for echoing back in
+    /// headers, logs and error JSON: only ASCII alphanumerics plus
+    /// `-`, `_`, `.`, `:` survive, capped at 64 chars. `None` when the
+    /// header is absent or nothing survives sanitization.
+    pub fn request_id(&self) -> Option<String> {
+        let raw = self.header("x-request-id")?;
+        let cleaned: String = raw
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+            .take(64)
+            .collect();
+        if cleaned.is_empty() {
+            None
+        } else {
+            Some(cleaned)
+        }
+    }
 }
 
 /// What went wrong while reading a request.
@@ -181,7 +199,7 @@ impl HttpConn {
         })
     }
 
-    /// Write a response. `extra_headers` are `(name, value)` pairs
+    /// Write a JSON response. `extra_headers` are `(name, value)` pairs
     /// appended verbatim (e.g. `Retry-After`).
     pub fn write_response(
         &mut self,
@@ -189,9 +207,21 @@ impl HttpConn {
         extra_headers: &[(&str, String)],
         body: &str,
     ) -> io::Result<()> {
+        self.write_response_typed(status, "application/json", extra_headers, body)
+    }
+
+    /// Write a response with an explicit `Content-Type` (the `/metrics`
+    /// exporter serves Prometheus text, not JSON).
+    pub fn write_response_typed(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+        body: &str,
+    ) -> io::Result<()> {
         let reason = reason_phrase(status);
         let mut head = format!(
-            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
             body.len()
         );
         for (k, v) in extra_headers {
@@ -277,6 +307,36 @@ mod tests {
         assert_eq!(r2.method, "GET");
         assert_eq!(r2.path, "/healthz");
         assert!(r2.body.is_empty());
+    }
+
+    #[test]
+    fn request_id_is_sanitized_before_echoing() {
+        let req = |id: &str| Request {
+            method: "POST".to_string(),
+            path: "/run/f".to_string(),
+            headers: vec![("x-request-id".to_string(), id.to_string())],
+            body: Vec::new(),
+        };
+        assert_eq!(
+            req("abc-123_x.y:z").request_id().as_deref(),
+            Some("abc-123_x.y:z")
+        );
+        // header-injection attempts and exotic bytes are stripped
+        assert_eq!(
+            req("evil\r\nSet-Cookie: x=1").request_id().as_deref(),
+            Some("evilSet-Cookie:x1")
+        );
+        assert_eq!(req("\r\n\"<>{}").request_id(), None);
+        // and length is capped
+        let long = "a".repeat(200);
+        assert_eq!(req(&long).request_id().map(|s| s.len()), Some(64));
+        let none = Request {
+            method: "POST".to_string(),
+            path: "/run/f".to_string(),
+            headers: vec![],
+            body: Vec::new(),
+        };
+        assert_eq!(none.request_id(), None);
     }
 
     #[test]

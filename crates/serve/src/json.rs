@@ -129,8 +129,10 @@ pub fn outputs_body(outputs: &[Tensor]) -> String {
 
 /// The error response body (see the module docs for the schema).
 /// `source` is the loaded program's text, used to echo the offending
-/// line when the error carries a span.
-pub fn error_body(err: &ServeError, source: Option<&str>) -> String {
+/// line when the error carries a span. `request_id` (when the error
+/// belongs to a traced `/run` request) is echoed so a failing response
+/// can be correlated with its `/debug/trace` span tree and log lines.
+pub fn error_body(err: &ServeError, source: Option<&str>, request_id: Option<&str>) -> String {
     let mut out = String::from("{\"error\":{\"kind\":\"");
     out.push_str(err.kind());
     out.push_str("\",\"status\":");
@@ -138,6 +140,11 @@ pub fn error_body(err: &ServeError, source: Option<&str>) -> String {
     out.push_str(",\"message\":\"");
     out.push_str(&escape(&err.to_string()));
     out.push('"');
+    if let Some(id) = request_id {
+        out.push_str(",\"request_id\":\"");
+        out.push_str(&escape(id));
+        out.push('"');
+    }
     if let Some(ms) = err.retry_after_ms() {
         out.push_str(&format!(",\"retry_after_ms\":{ms}"));
     }
@@ -393,11 +400,13 @@ mod tests {
         let body = error_body(
             &ServeError::Graph(ge),
             Some("def f(x):\n    return x / 0.0\n"),
+            Some("req-42"),
         );
         let doc = serde_json::from_str(&body).unwrap();
         let err = doc.get("error").unwrap();
         assert_eq!(err.get("kind").unwrap().as_str().unwrap(), "graph_error");
         assert_eq!(err.get("status").unwrap().as_u64().unwrap(), 500);
+        assert_eq!(err.get("request_id").unwrap().as_str().unwrap(), "req-42");
         assert_eq!(err.get("node").unwrap().as_str().unwrap(), "div_3");
         assert_eq!(err.get("line").unwrap().as_u64().unwrap(), 2);
         assert_eq!(
@@ -413,6 +422,7 @@ mod tests {
                 reason: "queue_full".into(),
                 retry_after_ms: 40,
             },
+            None,
             None,
         );
         let doc = serde_json::from_str(&body).unwrap();

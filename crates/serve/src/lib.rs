@@ -24,9 +24,12 @@ pub mod client;
 pub mod error;
 pub mod http;
 pub mod json;
+pub mod prom;
 pub mod registry;
 pub mod server;
+pub mod telemetry;
 
 pub use error::ServeError;
 pub use registry::{ModelRegistry, RegistryConfig};
 pub use server::{DrainReport, Server, ServerConfig};
+pub use telemetry::{RequestTrace, Telemetry, TelemetryConfig};

@@ -23,8 +23,11 @@ use crate::breaker::Admit;
 use crate::error::ServeError;
 use crate::http::{HttpConn, ReadError, Request};
 use crate::json;
+use crate::prom::PromWriter;
 use crate::registry::{feeds, FnEntry, ModelRegistry};
+use crate::telemetry::{FnMetrics, RequestTrace, Telemetry, TelemetryConfig};
 use autograph_graph::run::{CancelToken, RunOptions};
+use autograph_obs::{FanoutRecorder, Recorder};
 use autograph_tensor::Tensor;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -55,6 +58,8 @@ pub struct ServerConfig {
     /// batchable at all is decided at registry load, see
     /// [`crate::registry::RegistryConfig::batch_fns`]).
     pub max_batch: usize,
+    /// Telemetry plane tuning (trace sampling, ring size, SLO).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +72,7 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(10),
             max_body: 8 * 1024 * 1024,
             max_batch: 16,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -101,6 +107,7 @@ struct Shared {
     inflight: AtomicUsize,
     stats: ServerStats,
     started: Instant,
+    tel: Arc<Telemetry>,
 }
 
 /// A running server. Dropping it without [`Server::shutdown`] aborts
@@ -111,6 +118,11 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     acceptor: Option<JoinHandle<()>>,
+    /// Whether this server installed the telemetry recorder (sampling
+    /// on), plus whatever recorder was installed before, to restore at
+    /// shutdown.
+    recorder_installed: bool,
+    prev_recorder: Option<Arc<dyn Recorder>>,
 }
 
 /// What `shutdown` observed.
@@ -133,6 +145,27 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let queue = AdmissionQueue::new(cfg.queue_depth, cfg.workers.max(1));
+        let fn_names: Vec<String> = registry.entries.iter().map(|e| e.name.clone()).collect();
+        let tel = Telemetry::new(&fn_names, cfg.telemetry.clone());
+        // the tensor ledger feeds the live/peak bytes gauges in /metrics
+        autograph_tensor::mem::track_begin();
+        // Tracing needs the executor's obs spans, and any installed
+        // recorder drops the bytecode VM into its exact fallback — so the
+        // telemetry recorder only goes in when sampling is actually on,
+        // composed with (and later restored to) whatever was installed.
+        let mut recorder_installed = false;
+        let mut prev_recorder = None;
+        if cfg.telemetry.trace_sample > 0 {
+            let prev = autograph_obs::uninstall();
+            let tel_rec: Arc<dyn Recorder> = Arc::clone(&tel) as Arc<dyn Recorder>;
+            let installed: Arc<dyn Recorder> = match &prev {
+                Some(p) => Arc::new(FanoutRecorder::new(vec![Arc::clone(p), tel_rec])),
+                None => tel_rec,
+            };
+            autograph_obs::install(installed);
+            recorder_installed = true;
+            prev_recorder = prev;
+        }
         let shared = Arc::new(Shared {
             registry,
             queue,
@@ -142,6 +175,7 @@ impl Server {
             inflight: AtomicUsize::new(0),
             stats: ServerStats::default(),
             started: Instant::now(),
+            tel,
         });
         let workers = (0..shared.cfg.workers.max(1))
             .map(|i| {
@@ -162,6 +196,8 @@ impl Server {
             shared,
             workers,
             acceptor: Some(acceptor),
+            recorder_installed,
+            prev_recorder,
         })
     }
 
@@ -198,6 +234,13 @@ impl Server {
             std::thread::sleep(Duration::from_millis(5));
         }
         let abandoned = self.shared.inflight.load(Ordering::SeqCst);
+        // restore whatever recorder was installed before this server
+        if self.recorder_installed {
+            let _ = autograph_obs::uninstall();
+            if let Some(prev) = self.prev_recorder.take() {
+                autograph_obs::install(prev);
+            }
+        }
         DrainReport {
             clean: abandoned == 0,
             abandoned,
@@ -207,6 +250,16 @@ impl Server {
     /// Render `/stats` (also used by tests and the loadgen).
     pub fn stats_json(&self) -> String {
         stats_json(&self.shared)
+    }
+
+    /// Render `/metrics` (the Prometheus text document).
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.shared)
+    }
+
+    /// The server's telemetry plane.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.tel
     }
 }
 
@@ -227,7 +280,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     let _ = conn.write_response(
                         err.status(),
                         &retry_headers(&err),
-                        &json::error_body(&err, None),
+                        &json::error_body(&err, None, None),
                     );
                     continue;
                 }
@@ -244,6 +297,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // idle tick doubles as the window-ring rotation heartbeat
+                shared.tel.maybe_rotate();
                 std::thread::sleep(Duration::from_millis(10));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
@@ -281,7 +336,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Err(ReadError::Io(_)) => return,
             Err(ReadError::Malformed(m)) => {
                 let err = ServeError::BadRequest(m);
-                let _ = conn.write_response(err.status(), &[], &json::error_body(&err, None));
+                let _ = conn.write_response(err.status(), &[], &json::error_body(&err, None, None));
                 return;
             }
         };
@@ -309,6 +364,18 @@ fn handle_request(conn: &mut HttpConn, req: &Request, shared: &Arc<Shared>) -> b
                 .is_ok()
         }
         ("GET", "/stats") => conn.write_response(200, &[], &stats_json(shared)).is_ok(),
+        ("GET", "/metrics") => conn
+            .write_response_typed(200, "text/plain; version=0.0.4", &[], &metrics_text(shared))
+            .is_ok(),
+        ("GET", path) if path == "/debug/trace" || path.starts_with("/debug/trace?") => {
+            let n = path
+                .split_once('?')
+                .and_then(|(_, q)| q.split('&').find_map(|kv| kv.strip_prefix("n=")))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(shared.cfg.telemetry.trace_ring);
+            conn.write_response(200, &[], &shared.tel.traces_json(n))
+                .is_ok()
+        }
         ("POST", "/admin/drain") => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.queue.start_drain();
@@ -317,17 +384,23 @@ fn handle_request(conn: &mut HttpConn, req: &Request, shared: &Arc<Shared>) -> b
         }
         ("POST", path) if path.starts_with("/run/") => {
             let name = &path["/run/".len()..];
-            let result = run_request(conn, req, name, shared);
-            write_run_response(conn, shared, result)
+            let trace = shared.tel.begin_request(req.request_id(), name);
+            let budget = req
+                .deadline_ms()
+                .map(Duration::from_millis)
+                .unwrap_or(shared.cfg.default_deadline);
+            let t0 = Instant::now();
+            let result = run_request(conn, req, name, shared, &trace, budget);
+            write_run_response(conn, shared, &trace, t0, budget, result)
         }
         (_, path) if path.starts_with("/run/") => {
             let err = ServeError::BadRequest(format!("{} not allowed on {path}", req.method));
-            let _ = conn.write_response(405, &[], &json::error_body(&err, None));
+            let _ = conn.write_response(405, &[], &json::error_body(&err, None, None));
             true
         }
         _ => {
             let err = ServeError::UnknownFunction(format!("no route for {}", req.path));
-            let _ = conn.write_response(err.status(), &[], &json::error_body(&err, None));
+            let _ = conn.write_response(err.status(), &[], &json::error_body(&err, None, None));
             true
         }
     }
@@ -336,21 +409,23 @@ fn handle_request(conn: &mut HttpConn, req: &Request, shared: &Arc<Shared>) -> b
 fn write_run_response(
     conn: &mut HttpConn,
     shared: &Arc<Shared>,
+    trace: &Arc<RequestTrace>,
+    t0: Instant,
+    budget: Duration,
     result: Result<Vec<Tensor>, ServeError>,
 ) -> bool {
-    if let Err(fault) = autograph_faults::inject("serve", "respond") {
-        autograph_obs::count("serve", "fault_respond", 1);
-        let err = ServeError::Internal(format!("injected fault: {fault}"));
-        shared.stats.resp_5xx.fetch_add(1, Ordering::Relaxed);
-        return conn
-            .write_response(err.status(), &[], &json::error_body(&err, None))
-            .is_ok();
-    }
-    match result {
+    let respond_start = autograph_obs::now_ns();
+    let result = match autograph_faults::inject("serve", "respond") {
+        Ok(()) => result,
+        Err(fault) => {
+            autograph_obs::count("serve", "fault_respond", 1);
+            Err(ServeError::Internal(format!("injected fault: {fault}")))
+        }
+    };
+    let (status, mut headers, body) = match &result {
         Ok(outputs) => {
             shared.stats.resp_2xx.fetch_add(1, Ordering::Relaxed);
-            conn.write_response(200, &[], &json::outputs_body(&outputs))
-                .is_ok()
+            (200u16, Vec::new(), json::outputs_body(outputs))
         }
         Err(err) => {
             let status = err.status();
@@ -362,14 +437,25 @@ fn write_run_response(
             if matches!(err, ServeError::Cancelled) {
                 shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
             }
-            let body = json::error_body(&err, Some(&shared.registry.source));
-            let keep = conn
-                .write_response(status, &retry_headers(&err), &body)
-                .is_ok();
-            // a cancelled run means the client is gone anyway
-            keep && !matches!(err, ServeError::Cancelled)
+            let body = json::error_body(err, Some(&shared.registry.source), Some(&trace.id));
+            (status, retry_headers(err), body)
         }
+    };
+    headers.push(("X-Request-Id", trace.id.clone()));
+    let total_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    shared.tel.latency_all.record(total_ns);
+    if let Some(m) = shared.tel.for_fn(&trace.fn_name) {
+        m.count_status(status);
+        m.latency.record(total_ns);
+        let budget_ns = (budget.as_nanos().min(u128::from(u64::MAX)) as u64).max(1);
+        m.budget_permille
+            .record(total_ns.saturating_mul(1000) / budget_ns);
     }
+    let keep = conn.write_response(status, &headers, &body).is_ok();
+    trace.phase_from("respond", respond_start);
+    shared.tel.finish_request(trace, status, total_ns);
+    // a cancelled run means the client is gone anyway
+    keep && !matches!(result, Err(ServeError::Cancelled))
 }
 
 /// Decode, admit and await one `POST /run/<fn>`.
@@ -378,7 +464,10 @@ fn run_request(
     req: &Request,
     name: &str,
     shared: &Arc<Shared>,
+    trace: &Arc<RequestTrace>,
+    budget: Duration,
 ) -> Result<Vec<Tensor>, ServeError> {
+    let decode_start = autograph_obs::now_ns();
     let entry = match shared.registry.get(name) {
         Some(e) => Arc::clone(e),
         None => {
@@ -399,6 +488,7 @@ fn run_request(
             args.len()
         )));
     }
+    trace.phase_from("decode", decode_start);
     // fast-fail before consuming queue space
     match entry.breaker.admit() {
         Admit::Yes | Admit::Probe => {}
@@ -408,10 +498,7 @@ fn run_request(
             })
         }
     }
-    let budget = req
-        .deadline_ms()
-        .map(Duration::from_millis)
-        .unwrap_or(shared.cfg.default_deadline);
+    let admit_start = autograph_obs::now_ns();
     let now = Instant::now();
     let cancel = CancelToken::new();
     let (tx, rx) = sync_channel(1);
@@ -422,7 +509,9 @@ fn run_request(
         deadline: now + budget,
         cancel: cancel.clone(),
         resp: tx,
+        trace: Arc::clone(trace),
     })?;
+    trace.phase_from("admit", admit_start);
     await_result(conn, &rx, cancel, now + budget)
 }
 
@@ -464,8 +553,23 @@ fn await_result(
 // ---------------------------------------------------------------------
 // workers
 
+/// Record how long a job sat queued — called exactly once per job, at
+/// the moment a worker takes ownership of it (pop or batch harvest).
+fn note_dequeue(shared: &Arc<Shared>, job: &Job) {
+    let waited_ns = job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    if let Some(m) = shared.tel.for_fn(&job.entry.name) {
+        m.queue_wait.record(waited_ns);
+    }
+    job.trace.phase(
+        "queue_wait",
+        autograph_obs::now_ns().saturating_sub(waited_ns),
+        waited_ns,
+    );
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        note_dequeue(shared, &job);
         let batchable = job.entry.batchable.load(Ordering::Relaxed)
             && !job.entry.stateful
             && shared.cfg.max_batch > 1
@@ -474,11 +578,16 @@ fn worker_loop(shared: &Arc<Shared>) {
             let members = {
                 let mut m = vec![job];
                 let probe = &m[0];
+                let assembly_start = autograph_obs::now_ns();
                 let taken = shared
                     .queue
                     .take_compatible(probe, shared.cfg.max_batch - 1, |c| {
                         batch::compatible(probe, c)
                     });
+                probe.trace.phase_from("batch_assembly", assembly_start);
+                for t in &taken {
+                    note_dequeue(shared, t);
+                }
                 m.extend(taken);
                 m
             };
@@ -499,17 +608,33 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Execute one job on its own; report to breaker, EWMA and the waiting
-/// connection.
+/// Execute one job on its own; report to breaker, EWMA, telemetry and
+/// the waiting connection.
 fn run_single(shared: &Arc<Shared>, job: Job) {
+    let fnm = shared.tel.for_fn(&job.entry.name).cloned();
+    // while the ctx guard lives, executor obs spans closing on this
+    // thread are attributed to this request's trace
+    let _ctx = job
+        .trace
+        .sampled
+        .then(|| autograph_obs::set_request_ctx(job.trace.num));
     let t0 = Instant::now();
+    let run_start = autograph_obs::now_ns();
+    let occupancy = fnm.as_ref().map(FnMetrics::running_guard);
     let result = execute(
         shared,
         &job.entry,
         &job.args,
         job.remaining(),
         Some(&job.cancel),
+        Some(&job.trace),
     );
+    drop(occupancy);
+    let run_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    if let Some(m) = &fnm {
+        m.run.record(run_ns);
+    }
+    job.trace.phase("run", run_start, run_ns);
     finish(&job, t0, result);
 }
 
@@ -531,14 +656,24 @@ fn run_batch(shared: &Arc<Shared>, members: Vec<Job>) {
         .map(Job::remaining)
         .max()
         .unwrap_or(Duration::ZERO);
+    let fnm = shared.tel.for_fn(&entry.name).cloned();
     let t0 = Instant::now();
+    let run_start = autograph_obs::now_ns();
+    let occupancy = fnm.as_ref().map(FnMetrics::running_guard);
     let outcome = batch::stack_args(&members)
         .map_err(ServeError::Internal)
-        .and_then(|stacked| execute(shared, &entry, &stacked, budget, None));
+        .and_then(|stacked| execute(shared, &entry, &stacked, budget, None, None));
+    drop(occupancy);
+    let run_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
     match outcome {
         Ok(outputs) => match batch::split_outputs(&outputs, n) {
             Some(per_member) => {
+                // one VM run served the whole batch: record it once
+                if let Some(m) = &fnm {
+                    m.run.record(run_ns);
+                }
                 for (job, outs) in members.iter().zip(per_member) {
+                    job.trace.phase("run", run_start, run_ns);
                     finish(job, t0, Ok(outs));
                 }
             }
@@ -567,13 +702,20 @@ fn execute(
     args: &[Tensor],
     budget: Duration,
     cancel: Option<&CancelToken>,
+    trace: Option<&Arc<RequestTrace>>,
 ) -> Result<Vec<Tensor>, ServeError> {
     let mut options = RunOptions::default().with_deadline(budget);
     if let Some(c) = cancel {
         options = options.with_cancel(c.clone());
     }
+    let checkout_start = autograph_obs::now_ns();
     let run = catch_unwind(AssertUnwindSafe(|| {
         entry.with_session(|sess| {
+            // with_session blocks while the pool is exhausted; the gap
+            // between these two timestamps is that contention
+            if let Some(t) = trace {
+                t.phase_from("session_checkout", checkout_start);
+            }
             sess.run_with_options(&feeds(&entry.arg_names, args), &entry.outputs, &options)
         })
     }));
@@ -678,8 +820,315 @@ fn stats_json(shared: &Arc<Shared>) -> String {
         out.push_str(if e.breaker.is_open() { "true" } else { "false" });
         out.push_str(",\"ewma_service_us\":");
         out.push_str(&(e.ewma_service_ns.load(Ordering::Relaxed) / 1000).to_string());
+        if let Some(m) = shared.tel.for_fn(&e.name) {
+            out.push_str(",\"running\":");
+            out.push_str(&m.running.load(Ordering::Relaxed).to_string());
+            out.push_str(",\"running_peak\":");
+            out.push_str(&m.running_peak.load(Ordering::Relaxed).to_string());
+        }
         out.push('}');
     }
-    out.push_str("]}");
+    out.push_str("],\"windows\":");
+    out.push_str(&shared.tel.windows_json());
+    out.push('}');
     out
+}
+
+// ---------------------------------------------------------------------
+// /metrics
+
+/// Metric families the CI scrape validator and the loadgen assert are
+/// present in every `/metrics` response.
+pub const REQUIRED_METRIC_FAMILIES: &[&str] = &[
+    "autograph_requests_total",
+    "autograph_request_latency_seconds",
+    "autograph_queue_wait_seconds",
+    "autograph_run_seconds",
+    "autograph_deadline_budget_consumed_permille",
+    "autograph_queue_depth",
+    "autograph_admitted_total",
+    "autograph_shed_total",
+    "autograph_sessions_running",
+    "autograph_tensor_live_bytes",
+];
+
+/// Render the Prometheus text document for `GET /metrics`. Every value
+/// is read with relaxed loads — the scrape never blocks the hot path.
+fn metrics_text(shared: &Arc<Shared>) -> String {
+    shared.tel.maybe_rotate();
+    let a = &shared.queue.stats;
+    let s = &shared.stats;
+    let mut w = PromWriter::new();
+    w.family(
+        "autograph_uptime_seconds",
+        "gauge",
+        "seconds since server start",
+    );
+    w.sample(
+        "autograph_uptime_seconds",
+        &[],
+        shared.started.elapsed().as_secs_f64(),
+    );
+    w.family(
+        "autograph_requests_total",
+        "counter",
+        "completed /run responses by function and status class",
+    );
+    for m in shared.tel.fns() {
+        for (class, c) in [
+            ("2xx", &m.resp_2xx),
+            ("4xx", &m.resp_4xx),
+            ("5xx", &m.resp_5xx),
+        ] {
+            w.sample(
+                "autograph_requests_total",
+                &[("fn", &m.name), ("class", class)],
+                c.get() as f64,
+            );
+        }
+    }
+    w.family(
+        "autograph_request_latency_seconds",
+        "histogram",
+        "end-to-end /run latency by function (route dispatch to response written)",
+    );
+    for m in shared.tel.fns() {
+        w.histogram(
+            "autograph_request_latency_seconds",
+            &[("fn", &m.name)],
+            &m.latency.snapshot(),
+        );
+    }
+    w.family(
+        "autograph_queue_wait_seconds",
+        "histogram",
+        "time jobs spent in the admission queue before a worker took them",
+    );
+    for m in shared.tel.fns() {
+        w.histogram(
+            "autograph_queue_wait_seconds",
+            &[("fn", &m.name)],
+            &m.queue_wait.snapshot(),
+        );
+    }
+    w.family(
+        "autograph_run_seconds",
+        "histogram",
+        "graph/VM execution self-time by function (session run only)",
+    );
+    for m in shared.tel.fns() {
+        w.histogram(
+            "autograph_run_seconds",
+            &[("fn", &m.name)],
+            &m.run.snapshot(),
+        );
+    }
+    w.family(
+        "autograph_deadline_budget_consumed_permille",
+        "histogram",
+        "deadline budget consumed at response time, permille of the request budget",
+    );
+    for m in shared.tel.fns() {
+        w.histogram_raw(
+            "autograph_deadline_budget_consumed_permille",
+            &[("fn", &m.name)],
+            &m.budget_permille.snapshot(),
+        );
+    }
+    w.family(
+        "autograph_request_latency_all_seconds",
+        "histogram",
+        "end-to-end /run latency across all functions (feeds the rolling windows)",
+    );
+    w.histogram(
+        "autograph_request_latency_all_seconds",
+        &[],
+        &shared.tel.latency_all.snapshot(),
+    );
+    w.family(
+        "autograph_sessions_running",
+        "gauge",
+        "sessions currently checked out executing, by function",
+    );
+    for m in shared.tel.fns() {
+        w.sample(
+            "autograph_sessions_running",
+            &[("fn", &m.name)],
+            m.running.load(Ordering::Relaxed) as f64,
+        );
+    }
+    w.family(
+        "autograph_sessions_running_peak",
+        "gauge",
+        "high-water mark of concurrently executing sessions, by function",
+    );
+    for m in shared.tel.fns() {
+        w.sample(
+            "autograph_sessions_running_peak",
+            &[("fn", &m.name)],
+            m.running_peak.load(Ordering::Relaxed) as f64,
+        );
+    }
+    w.family(
+        "autograph_queue_depth",
+        "gauge",
+        "jobs in the admission queue",
+    );
+    w.sample("autograph_queue_depth", &[], shared.queue.depth() as f64);
+    w.family("autograph_connections", "gauge", "open client connections");
+    w.sample(
+        "autograph_connections",
+        &[],
+        shared.conns.load(Ordering::SeqCst) as f64,
+    );
+    w.family(
+        "autograph_inflight",
+        "gauge",
+        "requests currently being handled",
+    );
+    w.sample(
+        "autograph_inflight",
+        &[],
+        shared.inflight.load(Ordering::SeqCst) as f64,
+    );
+    w.family(
+        "autograph_draining",
+        "gauge",
+        "1 while the server is refusing new work",
+    );
+    w.sample(
+        "autograph_draining",
+        &[],
+        if shared.draining.load(Ordering::SeqCst) {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    w.family(
+        "autograph_admitted_total",
+        "counter",
+        "requests admitted into the queue",
+    );
+    w.sample(
+        "autograph_admitted_total",
+        &[],
+        a.admitted.load(Ordering::Relaxed) as f64,
+    );
+    w.family(
+        "autograph_shed_total",
+        "counter",
+        "requests refused by admission control, by reason",
+    );
+    w.sample(
+        "autograph_shed_total",
+        &[("reason", "queue_full")],
+        a.shed_queue_full.load(Ordering::Relaxed) as f64,
+    );
+    w.sample(
+        "autograph_shed_total",
+        &[("reason", "predicted_late")],
+        a.shed_predicted_late.load(Ordering::Relaxed) as f64,
+    );
+    w.family(
+        "autograph_expired_in_queue_total",
+        "counter",
+        "jobs whose deadline expired while queued",
+    );
+    w.sample(
+        "autograph_expired_in_queue_total",
+        &[],
+        a.expired_in_queue.load(Ordering::Relaxed) as f64,
+    );
+    w.family(
+        "autograph_rejected_draining_total",
+        "counter",
+        "requests refused because the server was draining",
+    );
+    w.sample(
+        "autograph_rejected_draining_total",
+        &[],
+        a.rejected_draining.load(Ordering::Relaxed) as f64,
+    );
+    for (name, help, v) in [
+        (
+            "autograph_batches_total",
+            "batched runs executed",
+            s.batches.load(Ordering::Relaxed),
+        ),
+        (
+            "autograph_batch_members_total",
+            "total members across batched runs",
+            s.batch_members.load(Ordering::Relaxed),
+        ),
+        (
+            "autograph_batch_fallbacks_total",
+            "batched runs that fell back to individual execution",
+            s.batch_fallbacks.load(Ordering::Relaxed),
+        ),
+        (
+            "autograph_cancelled_total",
+            "runs cancelled because the client disconnected",
+            s.cancelled.load(Ordering::Relaxed),
+        ),
+        (
+            "autograph_worker_panics_total",
+            "worker panics contained into 500s",
+            s.worker_panics.load(Ordering::Relaxed),
+        ),
+        (
+            "autograph_sampled_traces_total",
+            "requests sampled for span-tree tracing",
+            shared.tel.sampled_total.get(),
+        ),
+    ] {
+        w.family(name, "counter", help);
+        w.sample(name, &[], v as f64);
+    }
+    w.family(
+        "autograph_breaker_open",
+        "gauge",
+        "1 while the function's circuit breaker is open",
+    );
+    for e in shared.registry.entries.iter() {
+        w.sample(
+            "autograph_breaker_open",
+            &[("fn", &e.name)],
+            if e.breaker.is_open() { 1.0 } else { 0.0 },
+        );
+    }
+    let mem = autograph_tensor::mem::snapshot();
+    w.family(
+        "autograph_tensor_live_bytes",
+        "gauge",
+        "bytes currently held by tensor buffers (ledger)",
+    );
+    w.sample("autograph_tensor_live_bytes", &[], mem.live_bytes as f64);
+    w.family(
+        "autograph_tensor_peak_bytes",
+        "gauge",
+        "high-water mark of live tensor bytes",
+    );
+    w.sample("autograph_tensor_peak_bytes", &[], mem.peak_bytes as f64);
+    w.family(
+        "autograph_tensor_allocated_bytes_total",
+        "counter",
+        "cumulative tensor bytes allocated",
+    );
+    w.sample(
+        "autograph_tensor_allocated_bytes_total",
+        &[],
+        mem.allocated_bytes as f64,
+    );
+    w.family(
+        "autograph_tensor_freed_bytes_total",
+        "counter",
+        "cumulative tensor bytes freed",
+    );
+    w.sample(
+        "autograph_tensor_freed_bytes_total",
+        &[],
+        mem.freed_bytes as f64,
+    );
+    w.finish()
 }

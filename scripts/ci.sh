@@ -88,6 +88,13 @@ cargo run --release -q -p autograph-bench --bin table1 -- \
 # --addr-file handshake avoids port races), burst it with the load
 # generator at 1 and 4 client threads into one BENCH_serve.json, then
 # SIGTERM it — the server must drain cleanly (exit 0) or the gate fails.
+# The server boots with trace sampling OFF (the default), so the
+# throughput gate below also certifies the telemetry plane's
+# sampling-off overhead against the pre-telemetry baselines. Each burst
+# runs with --scrape-metrics: the loadgen scrapes GET /metrics before
+# and after, validates the exposition with the strict Prometheus-text
+# parser, asserts every required family is present and that counters
+# never go backwards, and exits nonzero (failing CI) otherwise.
 echo "== serve bench (autograph-serve + autograph-loadgen -> BENCH_serve.json)"
 rm -f target/serve.addr BENCH_serve.json
 target/release/autograph-serve --program examples/serve/mlp.pylite \
@@ -98,10 +105,12 @@ trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 target/release/autograph-loadgen --addr-file target/serve.addr \
     --function score --body '{"args":[0.5]}' \
     --threads 1 --requests 300 --deadline-ms 5000 \
+    --scrape-metrics \
     --json BENCH_serve.json --key threads_1
 target/release/autograph-loadgen --addr-file target/serve.addr \
     --function score --body '{"args":[0.5]}' \
     --threads 4 --requests 300 --deadline-ms 5000 \
+    --scrape-metrics \
     --json BENCH_serve.json --key threads_4
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo "FAIL: autograph-serve did not drain cleanly"; exit 1; }
