@@ -87,6 +87,9 @@ fn cfg_from_args(args: &[String]) -> Result<OracleCfg, String> {
     if args.iter().any(|a| a == "--no-grad") {
         cfg.check_grad = false;
     }
+    if args.iter().any(|a| a == "--no-warm-cold") {
+        cfg.check_warm_cold = false;
+    }
     Ok(cfg)
 }
 

@@ -16,6 +16,7 @@
 //! | `vm-bitwise-t1-vs-t4` | VM results are thread-count invariant **bitwise** |
 //! | `rerun-determinism` | running the same session twice is bitwise-stable |
 //! | `restage-determinism` | staging twice gives bitwise-identical results |
+//! | `warm-vs-cold` | a plan-store round trip reproduces cold staging **bitwise**: results at every thread count, warnings, and provenance chains |
 //! | `explain` / `explain-attribution` | the explain layer renders and ≥95% of executed nodes carry source spans (gated) |
 //! | `eager-vs-lantern` | the Lantern backend agrees to 1e-6 (gated) |
 //! | `fd-grad` | tape gradient matches central finite differences (gated) |
@@ -65,6 +66,10 @@ pub struct OracleCfg {
     pub check_grad: bool,
     /// Stage a second time and require bitwise-identical results.
     pub check_restage: bool,
+    /// Round-trip the compiled plan through the persistent plan store
+    /// and require the warm path to reproduce the cold path bitwise
+    /// (results, warnings, provenance chains) at every thread count.
+    pub check_warm_cold: bool,
     /// Run the explain layer and require well-formed output with ≥95%
     /// node-to-span attribution.
     pub check_explain: bool,
@@ -81,6 +86,7 @@ impl Default for OracleCfg {
             check_lantern: true,
             check_grad: true,
             check_restage: true,
+            check_warm_cold: true,
             check_explain: true,
             max_while_iters: 100_000,
         }
@@ -319,6 +325,17 @@ pub fn check_src(
         }
     }
 
+    // 8b. warm-vs-cold: persist the compiled plan, reload it, and
+    // require the warm function to be indistinguishable from the cold
+    // one — results bitwise at every thread count, identical warnings,
+    // identical graphs (provenance chains included, via Graph's
+    // PartialEq)
+    if cfg.check_warm_cold {
+        if let Outcome::Fail(d) = check_warm_cold(src, feeds, cfg) {
+            return Outcome::Fail(d);
+        }
+    }
+
     // 9. explain layer: the provenance/attribution pipeline must accept
     // every program the differential pipeline accepts, produce parseable
     // DOT, and attribute ≥95% of executed nodes to source spans
@@ -490,6 +507,136 @@ fn check_gradient(
             );
         }
     }
+    Outcome::Pass
+}
+
+/// Warm-vs-cold oracle: compile through the persistent plan store
+/// twice (cold populate, warm reload) and require the warm function to
+/// be indistinguishable from the cold one. "Indistinguishable" means:
+/// identical conversion warnings, an identical optimized graph
+/// (provenance chains ride in the graph's nodes, so `Graph`'s
+/// `PartialEq` covers them), and bitwise-identical call results at
+/// every configured thread count.
+///
+/// The cached pipeline additionally runs shape validation and unit
+/// compilation; a program it rejects that plain staging accepted is a
+/// validator-strictness question, not a cache defect, so those cases
+/// skip rather than fail.
+fn check_warm_cold(src: &str, feeds: &[(String, Tensor)], cfg: &OracleCfg) -> Outcome {
+    use autograph::runtime::plan_cache::compile_cached_with;
+    use autograph_planstore::{content_hash, PlanStore, VERSION_TAG};
+
+    let arg_names: Vec<&str> = feeds.iter().map(|(n, _)| n.as_str()).collect();
+    let dir = std::env::temp_dir().join(format!(
+        "agplan-genprog-{}-{:016x}",
+        std::process::id(),
+        content_hash(src, "oracle")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = match PlanStore::open(&dir) {
+        Ok(s) => s,
+        // an unwritable temp dir is an environment problem, not a cache bug
+        Err(_) => return Outcome::Pass,
+    };
+    let cleanup = || {
+        let _ = std::fs::remove_dir_all(&dir);
+    };
+
+    let cold = match compile_cached_with(src, "f", &arg_names, Some(&store), VERSION_TAG) {
+        Ok(a) => a,
+        Err(_) => {
+            cleanup();
+            return Outcome::Pass; // rejected by the stricter cached pipeline
+        }
+    };
+    if cold.from_cache {
+        cleanup();
+        return fail("warm-vs-cold", "fresh store reported a cache hit");
+    }
+    let warm = match compile_cached_with(src, "f", &arg_names, Some(&store), VERSION_TAG) {
+        Ok(a) => a,
+        Err(e) => {
+            cleanup();
+            return fail("warm-vs-cold", format!("warm reload failed: {e}"));
+        }
+    };
+    if !warm.from_cache {
+        cleanup();
+        return fail(
+            "warm-vs-cold",
+            "populated store missed — artifact not written back or not found",
+        );
+    }
+
+    // conversion warnings must replay verbatim from the artifact
+    if cold.warnings.len() != warm.warnings.len() {
+        cleanup();
+        return fail(
+            "warm-vs-cold",
+            format!(
+                "warning count: cold {} vs warm {}",
+                cold.warnings.len(),
+                warm.warnings.len()
+            ),
+        );
+    }
+    for (i, (a, b)) in cold.warnings.iter().zip(&warm.warnings).enumerate() {
+        if a.function != b.function
+            || a.span != b.span
+            || a.reason != b.reason
+            || a.source_line != b.source_line
+        {
+            cleanup();
+            return fail(
+                "warm-vs-cold",
+                format!("warning[{i}]: cold {a:?} vs warm {b:?}"),
+            );
+        }
+    }
+
+    // optimized graph + provenance chains survive the round trip
+    if cold.func.graph() != warm.func.graph() {
+        cleanup();
+        return fail(
+            "warm-vs-cold",
+            "optimized graph (or its provenance chains) changed across the store round trip",
+        );
+    }
+
+    // bitwise-identical results at every configured thread count
+    let feed_tensors: Vec<Tensor> = feeds.iter().map(|(_, t)| t.clone()).collect();
+    let (mut cf, mut wf) = (cold.func, warm.func);
+    for &n in &cfg.threads {
+        cf.set_threads(n);
+        wf.set_threads(n);
+        match (cf.call(&feed_tensors), wf.call(&feed_tensors)) {
+            (Ok(a), Ok(b)) => {
+                if let Err(e) = compare::bitwise(&format!("warm vs cold t{n}"), &a, &b) {
+                    cleanup();
+                    return fail("warm-vs-cold", e);
+                }
+            }
+            (Err(a), Err(b)) => {
+                if a.to_string() != b.to_string() {
+                    cleanup();
+                    return fail(
+                        "warm-vs-cold",
+                        format!("t{n}: cold error {a:?} vs warm error {b:?}"),
+                    );
+                }
+            }
+            (Ok(_), Err(e)) => {
+                cleanup();
+                return fail("warm-vs-cold", format!("t{n}: cold ran, warm failed: {e}"));
+            }
+            (Err(e), Ok(_)) => {
+                cleanup();
+                return fail("warm-vs-cold", format!("t{n}: warm ran, cold failed: {e}"));
+            }
+        }
+    }
+
+    cleanup();
     Outcome::Pass
 }
 

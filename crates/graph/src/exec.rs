@@ -86,6 +86,19 @@ impl Plan {
         })
     }
 
+    /// Build a plan covering `fetches` with an already-lowered bytecode
+    /// program pre-seeded, so the first VM-mode run skips lowering —
+    /// the warm-restage path of the persistent plan cache.
+    pub(crate) fn with_program(
+        graph: &Graph,
+        fetches: &[NodeId],
+        program: std::sync::Arc<crate::compile::Program>,
+    ) -> Result<Plan> {
+        let plan = Plan::compile(graph, fetches)?;
+        let _ = plan.vm.set(program);
+        Ok(plan)
+    }
+
     /// Number of nodes the plan executes.
     pub fn len(&self) -> usize {
         self.order.len()

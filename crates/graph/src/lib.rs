@@ -39,6 +39,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod artifact;
 pub mod builder;
 pub(crate) mod compile;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod session;
 pub mod shapes;
 pub(crate) mod vm;
 
+pub use artifact::CompiledUnit;
 pub use builder::GraphBuilder;
 pub use error::{ErrorKind, GraphError};
 pub use ir::{Graph, NodeId, OpKind, PassRecord, ProvSource, SubGraph};

@@ -85,6 +85,15 @@ fn env_exec_mode() -> Option<ExecMode> {
     })
 }
 
+/// The execution mode a session created without [`Session::set_exec_mode`]
+/// would resolve to right now — the process default, then `AUTOGRAPH_EXEC`,
+/// then [`ExecMode::Vm`]. The persistent plan cache folds this into its
+/// cache key so an interp-mode process never loads a VM-mode artifact's
+/// accounting expectations (and vice versa).
+pub fn default_exec_mode() -> ExecMode {
+    resolve_exec_mode(None)
+}
+
 /// Resolve the effective execution mode for a session (see [`ExecMode`]
 /// for the priority order).
 fn resolve_exec_mode(session_mode: Option<ExecMode>) -> ExecMode {
@@ -182,6 +191,18 @@ pub struct SessionStats {
     /// Per-node self-time EWMAs accumulated from reported runs (empty
     /// unless [`Session::set_reporting`] was on for at least one run).
     pub node_self_ewma: HashMap<NodeId, NodeSelfTime>,
+    /// Persistent plan-store loads that hit (artifact deserialized,
+    /// staging skipped). Recorded by the warm-restage layer via
+    /// [`SessionStatsShared::record_store_hit`].
+    pub plan_store_hits: u64,
+    /// Persistent plan-store lookups that missed (or fell back after
+    /// corruption) and staged cold.
+    pub plan_store_misses: u64,
+    /// Artifact bytes deserialized from the persistent store.
+    pub plan_store_bytes: u64,
+    /// Wall time spent loading + decoding persistent artifacts, in
+    /// nanoseconds.
+    pub plan_store_load_ns: u64,
 }
 
 impl SessionStats {
@@ -203,6 +224,10 @@ pub struct SessionStatsShared {
     nodes_executed: AtomicU64,
     while_iters: AtomicU64,
     node_ewma: Mutex<HashMap<NodeId, NodeSelfTime>>,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_bytes: AtomicU64,
+    store_load_ns: AtomicU64,
 }
 
 impl SessionStatsShared {
@@ -251,6 +276,30 @@ impl SessionStatsShared {
         }
     }
 
+    /// Record a persistent plan-store hit for this session: `bytes`
+    /// deserialized in `load_ns` nanoseconds. Called by the runtime's
+    /// warm-restage layer after installing a decoded artifact.
+    pub fn record_store_hit(&self, bytes: u64, load_ns: u64) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        self.store_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.store_load_ns.fetch_add(load_ns, Ordering::Relaxed);
+    }
+
+    /// Record a persistent plan-store miss (cold staging ran).
+    pub fn record_store_miss(&self) {
+        self.store_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Persistent plan-store hits recorded on this session.
+    pub fn plan_store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Persistent plan-store misses recorded on this session.
+    pub fn plan_store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the counters into a plain [`SessionStats`].
     pub fn snapshot(&self) -> SessionStats {
         SessionStats {
@@ -264,6 +313,10 @@ impl SessionStatsShared {
             nodes_executed: self.nodes_executed.load(Ordering::Relaxed),
             while_iters: self.while_iters.load(Ordering::Relaxed),
             node_self_ewma: self.node_self_ewma(),
+            plan_store_hits: self.store_hits.load(Ordering::Relaxed),
+            plan_store_misses: self.store_misses.load(Ordering::Relaxed),
+            plan_store_bytes: self.store_bytes.load(Ordering::Relaxed),
+            plan_store_load_ns: self.store_load_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -365,6 +418,26 @@ impl Session {
     /// while this session runs.
     pub fn stats_handle(&self) -> Arc<SessionStatsShared> {
         Arc::clone(&self.stats)
+    }
+
+    /// Pre-seed the plan cache from a deserialized
+    /// [`CompiledUnit`](crate::artifact::CompiledUnit): the unit's fetch
+    /// set gets a plan with the bytecode program already installed, so
+    /// the first `run` for those fetches is a plan-cache hit that skips
+    /// both plan compilation and VM lowering — the warm-restage path.
+    ///
+    /// The unit must have been built for this session's graph (the
+    /// persistent store's content-hash key guarantees it on the cache
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Returns staging errors if the unit's fetch ids don't fit the
+    /// graph.
+    pub fn install_compiled(&mut self, unit: &crate::artifact::CompiledUnit) -> Result<()> {
+        let plan = unit.plan()?;
+        self.plans.insert(unit.outputs.clone(), plan);
+        Ok(())
     }
 
     /// Current value of a variable.

@@ -23,6 +23,7 @@ pub mod env;
 pub mod error;
 pub mod interp;
 pub mod operators;
+pub mod plan_cache;
 pub mod runtime;
 pub mod tf_api;
 pub mod value;
@@ -30,6 +31,7 @@ pub mod value;
 pub use backend::Backend;
 pub use error::RuntimeError;
 pub use interp::Interp;
+pub use plan_cache::{compile_cached, compile_cached_with, CachedArtifacts};
 pub use runtime::{CompiledFunction, Runtime, StagedGraph};
 pub use value::Value;
 

@@ -353,6 +353,51 @@ impl CompiledFunction {
     pub fn graph(&self) -> &autograph_graph::Graph {
         self.session.graph()
     }
+
+    /// The output node ids in the staged graph.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Pin the underlying session's thread count (see
+    /// [`autograph_graph::Session::set_threads`]).
+    pub fn set_threads(&mut self, threads: usize) -> &mut CompiledFunction {
+        self.session.set_threads(threads);
+        self
+    }
+
+    /// Pin the underlying session's execution mode.
+    pub fn set_exec_mode(&mut self, mode: autograph_graph::ExecMode) -> &mut CompiledFunction {
+        self.session.set_exec_mode(mode);
+        self
+    }
+
+    /// Plan-cache and plan-store statistics from the underlying session.
+    pub fn stats(&self) -> autograph_graph::SessionStats {
+        self.session.stats()
+    }
+
+    /// Shared handle to the live session counters (see
+    /// [`autograph_graph::Session::stats_handle`]).
+    pub fn stats_handle(&self) -> std::sync::Arc<autograph_graph::session::SessionStatsShared> {
+        self.session.stats_handle()
+    }
+
+    /// Assemble a compiled function from already-staged parts — the
+    /// warm-restage constructor used by [`crate::plan_cache`].
+    pub(crate) fn from_parts(
+        session: autograph_graph::Session,
+        outputs: Vec<NodeId>,
+        arg_names: Vec<String>,
+        tuple_result: bool,
+    ) -> CompiledFunction {
+        CompiledFunction {
+            session,
+            outputs,
+            arg_names,
+            tuple_result,
+        }
+    }
 }
 
 impl Runtime {

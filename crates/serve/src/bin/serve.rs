@@ -58,6 +58,7 @@ struct Args {
     exec_threads: usize,
     breaker_threshold: u32,
     breaker_cooldown_ms: u64,
+    plan_cache: Option<String>,
     drain_deadline_ms: u64,
     trace_sample: u64,
     trace_ring: usize,
@@ -69,8 +70,8 @@ fn usage() -> ! {
         "usage: autograph-serve --program FILE [--addr HOST:PORT] [--addr-file FILE]\n\
          \x20  [--workers N] [--queue-depth N] [--max-connections N] [--deadline-ms N]\n\
          \x20  [--max-body BYTES] [--batch-fns f,g] [--max-batch N] [--exec-threads N]\n\
-         \x20  [--breaker-threshold N] [--breaker-cooldown-ms N] [--drain-deadline-ms N]\n\
-         \x20  [--trace-sample N] [--trace-ring N] [--slo-ms N]"
+         \x20  [--breaker-threshold N] [--breaker-cooldown-ms N] [--plan-cache DIR]\n\
+         \x20  [--drain-deadline-ms N] [--trace-sample N] [--trace-ring N] [--slo-ms N]"
     );
     std::process::exit(2);
 }
@@ -90,6 +91,7 @@ fn parse_args() -> Args {
         exec_threads: 1,
         breaker_threshold: 5,
         breaker_cooldown_ms: 100,
+        plan_cache: None,
         drain_deadline_ms: 5_000,
         trace_sample: 0,
         trace_ring: 64,
@@ -140,6 +142,7 @@ fn parse_args() -> Args {
                 args.breaker_cooldown_ms =
                     parse_num(&value("--breaker-cooldown-ms"), "--breaker-cooldown-ms")
             }
+            "--plan-cache" => args.plan_cache = Some(value("--plan-cache")),
             "--drain-deadline-ms" => {
                 args.drain_deadline_ms =
                     parse_num(&value("--drain-deadline-ms"), "--drain-deadline-ms")
@@ -195,6 +198,7 @@ fn main() {
         },
         breaker_threshold: args.breaker_threshold,
         breaker_cooldown: Duration::from_millis(args.breaker_cooldown_ms),
+        plan_cache: args.plan_cache.clone().map(std::path::PathBuf::from),
     };
     let registry = match ModelRegistry::load(&source, &reg_cfg) {
         Ok(r) => r,

@@ -30,6 +30,6 @@ pub mod server;
 pub mod telemetry;
 
 pub use error::ServeError;
-pub use registry::{ModelRegistry, RegistryConfig};
+pub use registry::{reset_stage_memo, ModelRegistry, RegistryConfig};
 pub use server::{DrainReport, Server, ServerConfig};
 pub use telemetry::{RequestTrace, Telemetry, TelemetryConfig};

@@ -23,26 +23,24 @@
 //!   default.
 
 use crate::breaker::CircuitBreaker;
+use autograph_graph::artifact::{ByteReader, ByteWriter, CompiledUnit};
 use autograph_graph::ir::NodeId;
 use autograph_graph::{Graph, Session};
+use autograph_planstore::{self as planstore, Load, PlanStore};
 use autograph_pylang::ast::StmtKind;
 use autograph_runtime::runtime::GraphArg;
 use autograph_runtime::Runtime;
 use autograph_tensor::Tensor;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// FNV-1a over the program source + staging flags.
-pub fn content_hash(source: &str, flags: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in source.as_bytes().iter().chain(flags.as_bytes()) {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+// The FNV-1a staging-memo hash historically lived here; it is now the
+// shared definition in `autograph-planstore`, so the in-process memo and
+// the on-disk cache key can never diverge.
+pub use autograph_planstore::content_hash;
 
 /// Where an entry's sessions live (see the module docs).
 enum SessionStore {
@@ -77,6 +75,10 @@ pub struct FnEntry {
     pub ewma_service_ns: AtomicU64,
     sessions: SessionStore,
     exec_threads: usize,
+    /// The staged unit (optimized graph + lowered VM program); every
+    /// session this entry builds gets the program pre-installed, so a
+    /// warm boot never re-lowers bytecode.
+    unit: Arc<CompiledUnit>,
 }
 
 impl FnEntry {
@@ -95,6 +97,10 @@ impl FnEntry {
     fn build_session(&self) -> Session {
         let mut sess = Session::new(self.graph.clone());
         sess.set_threads(self.exec_threads);
+        // pre-seed the plan cache with the already-lowered program;
+        // install failure is impossible for a unit staged from this
+        // graph, but degrade to lazy compilation rather than panic
+        let _ = sess.install_compiled(&self.unit);
         sess
     }
 
@@ -142,6 +148,10 @@ pub struct RegistryConfig {
     pub breaker_threshold: u32,
     /// Breaker: first cooldown (doubles per failed probe).
     pub breaker_cooldown: Duration,
+    /// Persistent plan-cache directory (`--plan-cache`); `None` falls
+    /// back to `AUTOGRAPH_PLAN_CACHE`, and neither set means staging is
+    /// memoized in-process only.
+    pub plan_cache: Option<PathBuf>,
 }
 
 impl Default for RegistryConfig {
@@ -151,6 +161,7 @@ impl Default for RegistryConfig {
             batch_fns: None,
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_millis(100),
+            plan_cache: None,
         }
     }
 }
@@ -192,7 +203,13 @@ impl ModelRegistry {
                                 // cache key stays honest if that ever changes
         );
         let hash = content_hash(source, &flags);
-        let staged = staged_for_hash(hash, source)?;
+        let store = match &config.plan_cache {
+            Some(dir) => PlanStore::open(dir)
+                .map_err(|e| format!("plan cache dir {}: {e}", dir.display()))
+                .map(Some)?,
+            None => PlanStore::from_env(),
+        };
+        let staged = staged_for_hash(hash, source, &flags, store.as_ref())?;
         let mut entries = Vec::new();
         let mut failed = Vec::new();
         let mut by_name = HashMap::new();
@@ -209,6 +226,7 @@ impl ModelRegistry {
                         SessionStore::Single(Box::new(Mutex::new({
                             let mut sess = Session::new(s.graph.clone());
                             sess.set_threads(config.exec_threads);
+                            let _ = sess.install_compiled(&s.unit);
                             sess
                         })))
                     } else {
@@ -231,6 +249,7 @@ impl ModelRegistry {
                         ewma_service_ns: AtomicU64::new(0),
                         sessions,
                         exec_threads: config.exec_threads,
+                        unit: Arc::clone(&s.unit),
                     }));
                 }
                 StagedFn::Failed { name, error } => failed.push(FailedFn {
@@ -275,29 +294,152 @@ struct StagedEntry {
     graph: Graph,
     outputs: Vec<NodeId>,
     tuple_result: bool,
+    unit: Arc<CompiledUnit>,
+}
+
+/// The in-process staged-program memo.
+static STAGE_MEMO: Mutex<Option<HashMap<u64, Arc<Vec<StagedFn>>>>> = Mutex::new(None);
+
+/// Drop the in-process staging memo, forcing the next load to consult
+/// the persistent store (or stage cold). Tests use this to simulate a
+/// fresh process without actually restarting one.
+pub fn reset_stage_memo() {
+    let mut cache = STAGE_MEMO.lock().unwrap_or_else(|p| p.into_inner());
+    *cache = None;
 }
 
 /// Process-wide staged-program cache: hash → staged functions. Staging
 /// is deterministic, so the first loader wins and later identical loads
-/// are free ("staged once per content-hash").
-fn staged_for_hash(hash: u64, source: &str) -> Result<Arc<Vec<StagedFn>>, String> {
-    static CACHE: Mutex<Option<HashMap<u64, Arc<Vec<StagedFn>>>>> = Mutex::new(None);
+/// are free ("staged once per content-hash"). When a persistent store
+/// is configured, a memo miss consults the on-disk bundle before
+/// staging cold — the warm-restart path — and a cold stage writes the
+/// bundle back.
+fn staged_for_hash(
+    hash: u64,
+    source: &str,
+    flags: &str,
+    store: Option<&PlanStore>,
+) -> Result<Arc<Vec<StagedFn>>, String> {
     {
-        let cache = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+        let cache = STAGE_MEMO.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(hit) = cache.as_ref().and_then(|m| m.get(&hash)) {
             autograph_obs::count("serve", "stage_cache_hit", 1);
             return Ok(Arc::clone(hit));
         }
     }
+    let disk_key = planstore::cache_key(source, flags, planstore::VERSION_TAG, exec_mode_str());
+    if let Some(store) = store {
+        if let Load::Hit { payload, .. } = store.load(disk_key) {
+            match decode_bundle(&payload) {
+                Ok(staged) => {
+                    autograph_obs::count("serve", "stage_cache_hit", 1);
+                    autograph_obs::count("serve", "stage_cache_disk_hit", 1);
+                    let staged = Arc::new(staged);
+                    let mut cache = STAGE_MEMO.lock().unwrap_or_else(|p| p.into_inner());
+                    return Ok(Arc::clone(
+                        cache
+                            .get_or_insert_with(HashMap::new)
+                            .entry(hash)
+                            .or_insert(staged),
+                    ));
+                }
+                Err(e) => planstore::note_corrupt(&e),
+            }
+        }
+    }
     autograph_obs::count("serve", "stage_cache_miss", 1);
     let staged = Arc::new(stage_all(source)?);
-    let mut cache = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(store) = store {
+        if store.save(disk_key, &encode_bundle(&staged)).is_err() {
+            autograph_obs::count("planstore", "plan_cache_write_failed", 1);
+        }
+    }
+    let mut cache = STAGE_MEMO.lock().unwrap_or_else(|p| p.into_inner());
     Ok(Arc::clone(
         cache
             .get_or_insert_with(HashMap::new)
             .entry(hash)
             .or_insert(staged),
     ))
+}
+
+/// The exec-mode axis of the disk key (an interp-mode process keys its
+/// artifacts apart from a VM-mode one).
+fn exec_mode_str() -> &'static str {
+    match autograph_graph::session::default_exec_mode() {
+        autograph_graph::ExecMode::Vm => "vm",
+        autograph_graph::ExecMode::Interp => "interp",
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk bundle: every staged function of one program under one key
+
+fn encode_bundle(staged: &[StagedFn]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(staged.len() as u64);
+    for item in staged {
+        match item {
+            StagedFn::Ok(s) => {
+                w.u8(0);
+                w.str(&s.name);
+                w.u64(s.arg_names.len() as u64);
+                for a in &s.arg_names {
+                    w.str(a);
+                }
+                w.u8(u8::from(s.tuple_result));
+                s.unit.encode_into(&mut w);
+            }
+            StagedFn::Failed { name, error } => {
+                w.u8(1);
+                w.str(name);
+                w.str(error);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_bundle(payload: &[u8]) -> Result<Vec<StagedFn>, String> {
+    let mut r = ByteReader::new(payload);
+    let n = r.count()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        match r.u8()? {
+            0 => {
+                let name = r.str()?;
+                let nargs = r.count()?;
+                let mut arg_names = Vec::with_capacity(nargs);
+                for _ in 0..nargs {
+                    arg_names.push(r.str()?);
+                }
+                let tuple_result = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(format!("invalid tuple_result tag {t}")),
+                };
+                let unit = Arc::new(CompiledUnit::decode_from(&mut r)?);
+                out.push(StagedFn::Ok(StagedEntry {
+                    name,
+                    arg_names,
+                    graph: unit.graph.clone(),
+                    outputs: unit.outputs.clone(),
+                    tuple_result,
+                    unit,
+                }));
+            }
+            1 => {
+                let name = r.str()?;
+                let error = r.str()?;
+                out.push(StagedFn::Failed { name, error });
+            }
+            t => return Err(format!("invalid bundle entry tag {t}")),
+        }
+    }
+    if !r.is_done() {
+        return Err("trailing bytes after staged bundle".to_string());
+    }
+    Ok(out)
 }
 
 /// Stage every top-level function of `source` (on the calling thread —
@@ -346,12 +488,23 @@ fn stage_all(source: &str) -> Result<Vec<StagedFn>, String> {
                     });
                     continue;
                 }
+                let unit = match CompiledUnit::build(graph, outputs) {
+                    Ok(u) => Arc::new(u),
+                    Err(e) => {
+                        out.push(StagedFn::Failed {
+                            name,
+                            error: e.to_string(),
+                        });
+                        continue;
+                    }
+                };
                 out.push(StagedFn::Ok(StagedEntry {
                     name,
                     arg_names,
-                    graph,
-                    outputs,
+                    graph: unit.graph.clone(),
+                    outputs: unit.outputs.clone(),
                     tuple_result: s.tuple_result,
+                    unit,
                 }));
             }
             Err(error) => out.push(StagedFn::Failed { name, error }),

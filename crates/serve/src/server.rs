@@ -850,6 +850,7 @@ pub const REQUIRED_METRIC_FAMILIES: &[&str] = &[
     "autograph_shed_total",
     "autograph_sessions_running",
     "autograph_tensor_live_bytes",
+    "autograph_plan_cache_total",
 ];
 
 /// Render the Prometheus text document for `GET /metrics`. Every value
@@ -1097,6 +1098,42 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
             if e.breaker.is_open() { 1.0 } else { 0.0 },
         );
     }
+    let plan = autograph_planstore::stats();
+    w.family(
+        "autograph_plan_cache_total",
+        "counter",
+        "persistent plan-store events by kind (hit/miss/corrupt/write)",
+    );
+    for (event, v) in [
+        ("hit", plan.hits),
+        ("miss", plan.misses),
+        ("corrupt", plan.corrupt),
+        ("write", plan.writes),
+    ] {
+        w.sample("autograph_plan_cache_total", &[("event", event)], v as f64);
+    }
+    w.family(
+        "autograph_plan_cache_bytes_total",
+        "counter",
+        "persistent plan-store bytes by direction",
+    );
+    for (dir, v) in [("read", plan.bytes_read), ("written", plan.bytes_written)] {
+        w.sample(
+            "autograph_plan_cache_bytes_total",
+            &[("direction", dir)],
+            v as f64,
+        );
+    }
+    w.family(
+        "autograph_plan_cache_load_seconds_total",
+        "counter",
+        "wall time spent loading + validating persistent plan artifacts",
+    );
+    w.sample(
+        "autograph_plan_cache_load_seconds_total",
+        &[],
+        plan.load_ns as f64 / 1e9,
+    );
     let mem = autograph_tensor::mem::snapshot();
     w.family(
         "autograph_tensor_live_bytes",

@@ -10,12 +10,14 @@ echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # error paths must not panic: the fault-injection crate, the worker
-# pool, and the serving layer (which must turn every failure into a
-# structured HTTP response, never an abort) ban unwrap/expect
-# crate-wide; the graph executors (exec.rs, sched.rs) carry the same
-# module-level #![deny], which the workspace clippy pass above enforces
+# pool, the serving layer (which must turn every failure into a
+# structured HTTP response, never an abort), and the plan store (a
+# corrupt cache artifact must fall back to cold staging, never abort)
+# ban unwrap/expect crate-wide; the graph executors (exec.rs, sched.rs)
+# carry the same module-level #![deny], which the workspace clippy pass
+# above enforces
 echo "== cargo clippy (no unwrap/expect in fault, executor & serving paths)"
-cargo clippy -p autograph-faults -p autograph-par -p autograph-serve --no-deps -- \
+cargo clippy -p autograph-faults -p autograph-par -p autograph-serve -p autograph-planstore --no-deps -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "== cargo build --release"
@@ -84,6 +86,17 @@ cargo run --release -q -p autograph-bench --bin table1 -- \
     --json-table BENCH_table1.json \
     --report BENCH_report.json
 
+# Stage bench: cold staging vs warm plan-cache restore on a fresh
+# on-disk store. The bin itself is a gate: it exits nonzero unless the
+# warm path skipped the staging pipeline entirely (asserted via obs
+# spans), reproduced the cold results bitwise, and came in at least 5x
+# faster; BENCH_stage.json additionally diffs against the committed
+# baseline below.
+echo "== stage bench (plan-cache cold vs warm -> BENCH_stage.json)"
+rm -rf target/plan-cache-bench BENCH_stage.json
+cargo run --release -q -p autograph-bench --bin stage_bench -- \
+    --runs 5 --cache-dir target/plan-cache-bench --json BENCH_stage.json
+
 # Serving bench: boot autograph-serve on an ephemeral port (the
 # --addr-file handshake avoids port races), burst it with the load
 # generator at 1 and 4 client threads into one BENCH_serve.json, then
@@ -130,7 +143,7 @@ trap - EXIT
 # are the load-bearing serve gates. Regenerate baselines on a quiet
 # machine with:
 #   scripts/ci.sh --update-baselines   (or copy BENCH_*.json to baselines/)
-GATED_BASELINES=(BENCH_table1.json BENCH_parallel.json BENCH_report.json BENCH_serve.json)
+GATED_BASELINES=(BENCH_table1.json BENCH_parallel.json BENCH_report.json BENCH_serve.json BENCH_stage.json)
 if [[ "${1:-}" == "--update-baselines" ]]; then
     echo "== updating committed baselines (baselines/)"
     mkdir -p baselines
@@ -159,6 +172,11 @@ else
         diff baselines/BENCH_serve.json BENCH_serve.json \
         --tol-pct 75 --abs 5 --tol p50_ms=300 --tol p99_ms=300 --tol mean_ms=300 \
         --tol throughput_rps=75
+    # the load-bearing stage gates are the booleans (staging skipped,
+    # bitwise identity) and warm_speedup; raw ms are noise-prone
+    cargo run --release -q -p autograph-report --bin autograph-report -- \
+        diff baselines/BENCH_stage.json BENCH_stage.json \
+        --tol-pct 75 --abs 5 --tol warm_speedup=80 --tol cold_ms=300 --tol warm_ms=300
 fi
 
 echo "CI OK"

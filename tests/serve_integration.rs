@@ -879,3 +879,124 @@ fn graceful_drain_finishes_inflight_and_restores_memory_ledger() {
         live.saturating_sub(baseline)
     );
 }
+
+/// Warm restart against a populated plan cache: the second boot must
+/// never enter the staging pipeline (no `staging/*` or
+/// `serve/stage_program` obs spans), must report the disk hit through
+/// the stage-cache counters and `/metrics`, and must serve responses
+/// bitwise-identical to the cold boot's.
+#[test]
+fn warm_restart_skips_staging_and_serves_identical_responses() {
+    let _l = lock();
+    // a source unique to this test so no other test's in-process memo
+    // or plan-cache artifact can satisfy it
+    const SRC: &str = "\
+def restart_f(x):
+    y = tf.constant(0.0)
+    while y < x:
+        y = y + 0.75
+    return tf.tanh(y) * 3.0
+
+def restart_g(x):
+    return x * x + 0.5
+";
+    let cache_dir =
+        std::env::temp_dir().join(format!("agplan-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let reg_cfg = RegistryConfig {
+        plan_cache: Some(cache_dir.clone()),
+        ..RegistryConfig::default()
+    };
+    let cases: [(&str, f32); 3] = [("restart_f", 5.0), ("restart_f", 0.0), ("restart_g", 1.25)];
+
+    // cold boot: populates the on-disk bundle
+    autograph_serve::reset_stage_memo();
+    let run_all = |addr: &str| -> Vec<Vec<Tensor>> {
+        let mut client = Client::connect(addr).expect("connect");
+        cases
+            .iter()
+            .map(|(name, v)| {
+                let arg = Tensor::scalar_f32(*v);
+                let resp = client
+                    .run(name, &body_for(&[&arg]), Some(30_000))
+                    .expect("run");
+                assert_eq!(resp.status, 200, "{name}: {}", resp.text());
+                parse_outputs(&resp.text()).expect("outputs")
+            })
+            .collect()
+    };
+    let server = boot(SRC, ServerConfig::default(), &reg_cfg);
+    let cold_out = run_all(&server.addr().to_string());
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+    assert!(
+        std::fs::read_dir(&cache_dir).expect("cache dir").any(|e| e
+            .expect("entry")
+            .path()
+            .extension()
+            .is_some_and(|x| x == "agpc")),
+        "cold boot wrote no artifact"
+    );
+
+    // simulate a fresh process: drop the in-process memo, then reload
+    // the registry under a recorder that would catch any staging work
+    autograph_serve::reset_stage_memo();
+    let hits_before = autograph_planstore::stats().hits;
+    let recorder = std::sync::Arc::new(autograph_obs::AggregateRecorder::new());
+    autograph_obs::install(recorder.clone());
+    let registry = ModelRegistry::load(SRC, &reg_cfg).expect("warm registry load");
+    autograph_obs::uninstall();
+    let summary = recorder.summary();
+    let staging_spans: Vec<&str> = summary
+        .rows
+        .iter()
+        .map(|r| r.key.as_str())
+        .filter(|k| {
+            k.starts_with("staging/") || *k == "serve/stage_program" || *k == "serve/optimize"
+        })
+        .collect();
+    assert!(
+        staging_spans.is_empty(),
+        "warm restart entered the staging pipeline: {staging_spans:?}"
+    );
+    assert_eq!(summary.counter("serve/stage_cache_hit"), Some(1));
+    assert_eq!(summary.counter("serve/stage_cache_disk_hit"), Some(1));
+    assert_eq!(summary.counter("serve/stage_cache_miss"), None);
+    assert!(
+        autograph_planstore::stats().hits > hits_before,
+        "plan store recorded no hit on warm boot"
+    );
+    assert!(
+        registry.failed.is_empty(),
+        "warm staging failures: {:?}",
+        registry
+            .failed
+            .iter()
+            .map(|f| format!("{}: {}", f.name, f.error))
+            .collect::<Vec<_>>()
+    );
+
+    // the warm server answers bitwise-identically to the cold one
+    let server = Server::start(registry, ServerConfig::default()).expect("server start");
+    let addr = server.addr().to_string();
+    assert!(wait_ready(&addr, Duration::from_secs(10)));
+    let warm_out = run_all(&addr);
+    for (((name, _), cold), warm) in cases.iter().zip(&cold_out).zip(&warm_out) {
+        assert_bitwise_eq(name, "warm vs cold boot", warm, cold);
+    }
+
+    // and /metrics carries the plan-cache hit
+    let mut c = Client::connect(&addr).expect("connect");
+    let resp = c.request("GET", "/metrics", "", "").expect("GET /metrics");
+    assert_eq!(resp.status, 200);
+    let scrape = prom::parse_and_validate(&resp.text()).expect("valid exposition");
+    assert!(scrape.has_family("autograph_plan_cache_total"));
+    let hit = scrape
+        .value("autograph_plan_cache_total", "{event=\"hit\"}")
+        .expect("plan_cache_total{event=hit}");
+    assert!(hit >= 1.0, "plan cache hit not exported: {hit}");
+
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
